@@ -1,0 +1,54 @@
+// Cliquebench regenerates the quantitative content of every theorem and
+// claim of "On the Power of the Congested Clique Model" (Drucker, Kuhn,
+// Oshman; PODC 2014). Run all experiments (E1–E13 plus the EA1 ablations) or a single one:
+//
+//	cliquebench             # everything, full parameters
+//	cliquebench -exp E7     # one experiment
+//	cliquebench -quick      # reduced parameter sweeps
+//	cliquebench -list       # show the experiment index
+//
+// See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID to run (E1..E12) or 'all'")
+		quick = flag.Bool("quick", false, "reduced parameter sweeps")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-5s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+	if *exp != "all" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		run(e, *quick)
+		return
+	}
+	for _, e := range experiments.All {
+		run(e, *quick)
+	}
+}
+
+func run(e experiments.Experiment, quick bool) {
+	if err := e.Run(os.Stdout, quick); err != nil {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+package barrier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLambdaOne(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int64
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		got, err := Lambda(1, c.n)
+		if err != nil || got != c.want {
+			t.Errorf("Lambda(1, %d) = %d (err %v), want %d", c.n, got, err, c.want)
+		}
+	}
+}
+
+func TestLambdaTwoIsLogStar(t *testing.T) {
+	// log*(n): iterations of ceil(log2) to reach <= 1.
+	// 65536 -> 16 -> 4 -> 2 -> 1: 4 iterations.
+	got, err := Lambda(2, 65536)
+	if err != nil || got != 4 {
+		t.Errorf("log*(65536) = %d (err %v), want 4", got, err)
+	}
+	// 2 -> 1: one iteration.
+	got, _ = Lambda(2, 2)
+	if got != 1 {
+		t.Errorf("log*(2) = %d, want 1", got)
+	}
+}
+
+func TestLambdaHierarchyCollapses(t *testing.T) {
+	// Each level collapses dramatically: λ_d(n) is non-increasing in d
+	// for fixed large n, reaching <= 1 by λ⁻¹(n).
+	n := int64(1) << 60
+	prev := int64(math.MaxInt64)
+	for d := 1; d <= 5; d++ {
+		v, err := Lambda(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev {
+			t.Errorf("λ_%d(2^60) = %d > λ_%d = %d", d, v, d-1, prev)
+		}
+		prev = v
+	}
+	inv, err := LambdaInverse(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv < 2 || inv > 6 {
+		t.Errorf("λ⁻¹(2^60) = %d, want a tiny constant", inv)
+	}
+	v, _ := Lambda(inv, n)
+	if v > 3 {
+		t.Errorf("λ_{λ⁻¹}(n) = %d > 3 (the hierarchy's fixed point)", v)
+	}
+}
+
+func TestCCWireBoundBarelySuperlinear(t *testing.T) {
+	// The [6] bound is n log n at depth 2, n log* n at depth 3 — verify
+	// the dramatic drop.
+	n := int64(1 << 30)
+	d2, err := CCWireBound(2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := CCWireBound(3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= n || d3 <= n {
+		t.Error("bounds not superlinear")
+	}
+	if d3 >= d2/4 {
+		t.Errorf("depth-3 bound %d not far below depth-2 %d", d3, d2)
+	}
+}
+
+func TestIPSTrivialDepthIsLogLog(t *testing.T) {
+	// d* ≈ log_K(c·log n): doubling log n adds ~constant to d*.
+	c, k := 1.0, 3.0
+	d1 := IPSTrivialDepth(1<<16, c, k, 2)
+	d2 := IPSTrivialDepth(1<<32, c, k, 2)
+	d3 := IPSTrivialDepth(1<<62, c, k, 2)
+	if d1 > d2 || d2 > d3 {
+		t.Errorf("trivial depth not monotone: %d %d %d", d1, d2, d3)
+	}
+	if d3-d1 > 3 {
+		t.Errorf("trivial depth grew too fast (%d -> %d): want log log growth", d1, d3)
+	}
+	if d3 > 10 {
+		t.Errorf("trivial depth %d suspiciously large", d3)
+	}
+}
+
+func TestIPSWireBoundDecaysWithDepth(t *testing.T) {
+	n := int64(1 << 20)
+	prev := math.Inf(1)
+	for d := 1; d <= 8; d++ {
+		v := IPSWireBound(n, d, 1, 3)
+		if v >= prev {
+			t.Errorf("IPS bound not decreasing at depth %d", d)
+		}
+		prev = v
+	}
+	if prev < float64(n) {
+		t.Error("IPS bound fell below n (impossible for n^{1+x}, x>0)")
+	}
+}
+
+func TestCliqueToCircuitImplication(t *testing.T) {
+	// A (hypothetical) ω(1)-round bound at depth budget: check the
+	// arithmetic plumbing.
+	impl := CliqueToCircuit{
+		N:        1 << 15,
+		Rounds:   100,
+		SepBits:  1,
+		WireS:    64, // n²·64 wires: strongly superlinear in n²
+		SimConst: 5,
+	}
+	if impl.ImpliedDepth() != 20 {
+		t.Errorf("implied depth = %f, want 20", impl.ImpliedDepth())
+	}
+	beats, err := impl.BeatsCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !beats {
+		t.Error("n²·64 wires at depth 4 should beat n²·λ_4(n²)")
+	}
+	// Depth beyond the implication is not covered.
+	beats, err = impl.BeatsCC(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beats {
+		t.Error("implication claims depth beyond rounds/simConst")
+	}
+}
+
+func TestLambdaErrors(t *testing.T) {
+	if _, err := Lambda(0, 5); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Lambda(1, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package bits provides bit-exact message buffers for the congested clique
+// simulator. The congested clique model meters communication in bits, so
+// every protocol message is a Buffer whose length is tracked at bit
+// granularity; the round engine enforces the per-link bandwidth b against
+// Buffer.Len.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a read runs past the end of a Reader.
+var ErrShortBuffer = errors.New("bits: read past end of buffer")
+
+// Buffer is an append-only bit string. The zero value is an empty buffer
+// ready to use.
+type Buffer struct {
+	data []byte
+	n    int // number of valid bits in data
+}
+
+// New returns an empty buffer with capacity for sizeHint bits.
+func New(sizeHint int) *Buffer {
+	return &Buffer{data: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// FromBits constructs a buffer that views the first n bits of data.
+// The slice is copied so the buffer does not alias the argument.
+func FromBits(data []byte, n int) (*Buffer, error) {
+	if n < 0 || (n+7)/8 > len(data) {
+		return nil, fmt.Errorf("bits: %d bits do not fit in %d bytes", n, len(data))
+	}
+	cp := make([]byte, (n+7)/8)
+	copy(cp, data)
+	return &Buffer{data: cp, n: n}, nil
+}
+
+// Len reports the number of bits written so far.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Bytes returns the underlying storage; the final byte may be partially
+// filled. The caller must not modify the returned slice.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Clone returns an independent copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	cp := make([]byte, len(b.data))
+	copy(cp, b.data)
+	return &Buffer{data: cp, n: b.n}
+}
+
+// Reset truncates the buffer to zero bits, retaining capacity.
+func (b *Buffer) Reset() {
+	b.data = b.data[:0]
+	b.n = 0
+}
+
+// WriteBit appends a single bit (any nonzero v is treated as 1).
+func (b *Buffer) WriteBit(v uint64) {
+	if b.n%8 == 0 {
+		b.data = append(b.data, 0)
+	}
+	if v != 0 {
+		b.data[b.n/8] |= 1 << uint(b.n%8)
+	}
+	b.n++
+}
+
+// WriteUint appends the low `width` bits of v, least-significant first.
+// width must be in [0, 64].
+func (b *Buffer) WriteUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bits: invalid width %d", width))
+	}
+	for i := 0; i < width; i++ {
+		b.WriteBit((v >> uint(i)) & 1)
+	}
+}
+
+// WriteBool appends a single bit encoding v.
+func (b *Buffer) WriteBool(v bool) {
+	if v {
+		b.WriteBit(1)
+	} else {
+		b.WriteBit(0)
+	}
+}
+
+// Append concatenates all bits of other onto b.
+func (b *Buffer) Append(other *Buffer) {
+	r := NewReader(other)
+	for r.Remaining() > 0 {
+		w := r.Remaining()
+		if w > 64 {
+			w = 64
+		}
+		v, _ := r.ReadUint(w)
+		b.WriteUint(v, w)
+	}
+}
+
+// Slice returns the sub-buffer covering bits [from, to).
+func (b *Buffer) Slice(from, to int) (*Buffer, error) {
+	if from < 0 || to > b.n || from > to {
+		return nil, fmt.Errorf("bits: slice [%d,%d) out of range of %d bits", from, to, b.n)
+	}
+	out := New(to - from)
+	r := NewReader(b)
+	if err := r.Skip(from); err != nil {
+		return nil, err
+	}
+	for i := from; i < to; i++ {
+		v, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		out.WriteBit(v)
+	}
+	return out, nil
+}
+
+// Chunks splits the buffer into pieces of at most chunkBits bits each,
+// preserving order. An empty buffer yields no chunks.
+func (b *Buffer) Chunks(chunkBits int) []*Buffer {
+	if chunkBits <= 0 {
+		panic("bits: chunkBits must be positive")
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	out := make([]*Buffer, 0, (b.Len()+chunkBits-1)/chunkBits)
+	for off := 0; off < b.Len(); off += chunkBits {
+		end := off + chunkBits
+		if end > b.Len() {
+			end = b.Len()
+		}
+		c, err := b.Slice(off, end)
+		if err != nil {
+			panic(err) // unreachable: bounds are validated above
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// String renders the buffer as a 0/1 string, least-significant bit first.
+func (b *Buffer) String() string {
+	out := make([]byte, b.n)
+	for i := 0; i < b.n; i++ {
+		if b.data[i/8]&(1<<uint(i%8)) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Equal reports whether two buffers hold identical bit strings.
+func (b *Buffer) Equal(other *Buffer) bool {
+	if b.Len() != other.Len() {
+		return false
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.bit(i) != other.bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Buffer) bit(i int) uint64 {
+	return uint64(b.data[i/8]>>uint(i%8)) & 1
+}
+
+// Reader consumes a Buffer from the front.
+type Reader struct {
+	buf *Buffer
+	pos int
+}
+
+// NewReader returns a reader positioned at the start of buf. Reading does
+// not modify buf.
+func NewReader(buf *Buffer) *Reader {
+	if buf == nil {
+		buf = &Buffer{}
+	}
+	return &Reader{buf: buf}
+}
+
+// Remaining reports how many unread bits remain.
+func (r *Reader) Remaining() int { return r.buf.Len() - r.pos }
+
+// Skip advances past n bits.
+func (r *Reader) Skip(n int) error {
+	if n < 0 || r.Remaining() < n {
+		return ErrShortBuffer
+	}
+	r.pos += n
+	return nil
+}
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (uint64, error) {
+	if r.Remaining() < 1 {
+		return 0, ErrShortBuffer
+	}
+	v := r.buf.bit(r.pos)
+	r.pos++
+	return v, nil
+}
+
+// ReadUint consumes `width` bits written by WriteUint.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bits: invalid width %d", width)
+	}
+	if r.Remaining() < width {
+		return 0, ErrShortBuffer
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, _ := r.ReadBit()
+		v |= b << uint(i)
+	}
+	return v, nil
+}
+
+// ReadBool consumes one bit as a boolean.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBit()
+	return v != 0, err
+}
+
+// UintWidth returns the number of bits needed to represent any value in
+// [0, maxVal], i.e. ceil(log2(maxVal+1)), and at least 1.
+func UintWidth(maxVal uint64) int {
+	w := 1
+	for maxVal > 1 {
+		maxVal >>= 1
+		w++
+	}
+	return w
+}
+
+// Concat returns a fresh buffer holding all arguments in order.
+func Concat(bufs ...*Buffer) *Buffer {
+	total := 0
+	for _, b := range bufs {
+		total += b.Len()
+	}
+	out := New(total)
+	for _, b := range bufs {
+		out.Append(b)
+	}
+	return out
+}

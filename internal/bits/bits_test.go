@@ -1,0 +1,209 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	var b Buffer
+	pattern := []uint64{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, v := range pattern {
+		b.WriteBit(v)
+	}
+	if b.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(pattern))
+	}
+	r := NewReader(&b)
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrShortBuffer {
+		t.Errorf("read past end: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestWriteReadUintRoundTrip(t *testing.T) {
+	f := func(v uint64, widthSeed uint8) bool {
+		width := int(widthSeed%64) + 1
+		masked := v
+		if width < 64 {
+			masked = v & ((1 << uint(width)) - 1)
+		}
+		var b Buffer
+		b.WriteUint(v, width)
+		got, err := NewReader(&b).ReadUint(width)
+		return err == nil && got == masked && b.Len() == width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedSequence(t *testing.T) {
+	var b Buffer
+	b.WriteUint(42, 7)
+	b.WriteBool(true)
+	b.WriteUint(1<<40+17, 41)
+	b.WriteBool(false)
+	r := NewReader(&b)
+	if v, _ := r.ReadUint(7); v != 42 {
+		t.Errorf("first = %d, want 42", v)
+	}
+	if v, _ := r.ReadBool(); !v {
+		t.Error("second = false, want true")
+	}
+	if v, _ := r.ReadUint(41); v != 1<<40+17 {
+		t.Errorf("third = %d", v)
+	}
+	if v, _ := r.ReadBool(); v {
+		t.Error("fourth = true, want false")
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestSliceAndChunks(t *testing.T) {
+	var b Buffer
+	rng := rand.New(rand.NewSource(7))
+	ref := make([]uint64, 100)
+	for i := range ref {
+		ref[i] = uint64(rng.Intn(2))
+		b.WriteBit(ref[i])
+	}
+	s, err := b.Slice(13, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 44 {
+		t.Fatalf("slice len = %d, want 44", s.Len())
+	}
+	r := NewReader(s)
+	for i := 13; i < 57; i++ {
+		v, _ := r.ReadBit()
+		if v != ref[i] {
+			t.Fatalf("slice bit %d mismatch", i)
+		}
+	}
+
+	chunks := b.Chunks(7)
+	if len(chunks) != 15 { // ceil(100/7)
+		t.Fatalf("got %d chunks, want 15", len(chunks))
+	}
+	recon := Concat(chunks...)
+	if !recon.Equal(&b) {
+		t.Error("concat of chunks != original")
+	}
+}
+
+func TestChunksEmpty(t *testing.T) {
+	var b Buffer
+	if got := b.Chunks(8); got != nil {
+		t.Errorf("Chunks on empty buffer = %v, want nil", got)
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	var b Buffer
+	b.WriteUint(5, 10)
+	cases := [][2]int{{-1, 3}, {0, 11}, {7, 3}}
+	for _, c := range cases {
+		if _, err := b.Slice(c[0], c[1]); err == nil {
+			t.Errorf("Slice(%d,%d) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+func TestAppendConcat(t *testing.T) {
+	var a, b Buffer
+	a.WriteUint(9, 5)
+	b.WriteUint(1023, 10)
+	c := Concat(&a, &b)
+	if c.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", c.Len())
+	}
+	r := NewReader(c)
+	if v, _ := r.ReadUint(5); v != 9 {
+		t.Errorf("first part = %d, want 9", v)
+	}
+	if v, _ := r.ReadUint(10); v != 1023 {
+		t.Errorf("second part = %d, want 1023", v)
+	}
+}
+
+func TestUintWidth(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 62, 63},
+	}
+	for _, c := range cases {
+		if got := UintWidth(c.v); got != c.want {
+			t.Errorf("UintWidth(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	buf, err := FromBits([]byte{0b1010_1010, 0b0000_0001}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", buf.Len())
+	}
+	r := NewReader(buf)
+	want := []uint64{0, 1, 0, 1, 0, 1, 0, 1, 1}
+	for i, w := range want {
+		v, _ := r.ReadBit()
+		if v != w {
+			t.Errorf("bit %d = %d, want %d", i, v, w)
+		}
+	}
+	if _, err := FromBits([]byte{1}, 9); err == nil {
+		t.Error("FromBits with short data succeeded, want error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var a Buffer
+	a.WriteUint(3, 2)
+	b := a.Clone()
+	a.WriteBit(1)
+	if b.Len() != 2 {
+		t.Errorf("clone len changed to %d after writing original", b.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	var a, b Buffer
+	a.WriteUint(5, 3)
+	b.WriteUint(5, 3)
+	if !a.Equal(&b) {
+		t.Error("identical buffers not Equal")
+	}
+	b.WriteBit(0)
+	if a.Equal(&b) {
+		t.Error("buffers of different length Equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var b Buffer
+	b.WriteBit(1)
+	b.WriteBit(0)
+	b.WriteBit(1)
+	if got := b.String(); got != "101" {
+		t.Errorf("String = %q, want 101", got)
+	}
+}

@@ -1,0 +1,90 @@
+// Package cc provides the communication-complexity substrate of the
+// paper's Section 3 lower bounds: two-party set disjointness with its
+// fooling-set bound (the source of the Ω(|E_F|/(n·b)) round bounds via
+// Lemma 13), and the 3-party number-on-forehead (NOF) model with the
+// Theorem 24 reduction from NOF set disjointness to triangle detection in
+// the broadcast congested clique.
+package cc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput reports malformed disjointness instances.
+var ErrBadInput = errors.New("cc: malformed input")
+
+// Disj evaluates two-party set disjointness: 1 iff x ∩ y = ∅.
+func Disj(x, y []bool) (bool, error) {
+	if len(x) != len(y) {
+		return false, fmt.Errorf("%w: |x|=%d |y|=%d", ErrBadInput, len(x), len(y))
+	}
+	for i := range x {
+		if x[i] && y[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Disj3 evaluates 3-party set disjointness: 1 iff xa ∩ xb ∩ xc = ∅.
+func Disj3(xa, xb, xc []bool) (bool, error) {
+	if len(xa) != len(xb) || len(xb) != len(xc) {
+		return false, fmt.Errorf("%w: lengths %d/%d/%d", ErrBadInput, len(xa), len(xb), len(xc))
+	}
+	for i := range xa {
+		if xa[i] && xb[i] && xc[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// VerifyDisjFoolingSet machine-checks that {(S, complement(S)) : S ⊆ [m]}
+// is a fooling set for two-party disjointness: every pair is a 1-input,
+// and crossing any two distinct pairs produces a 0-input in at least one
+// direction. Its existence proves D(Disj_m) ≥ m bits — the fact Lemma 13
+// converts into the paper's polynomial round bounds. Exhaustive over 2^m
+// subsets; keep m small.
+func VerifyDisjFoolingSet(m int) error {
+	if m < 1 || m > 16 {
+		return fmt.Errorf("%w: m=%d out of the exhaustive-check range", ErrBadInput, m)
+	}
+	subset := func(mask int) ([]bool, []bool) {
+		x := make([]bool, m)
+		y := make([]bool, m)
+		for i := 0; i < m; i++ {
+			bit := mask&(1<<i) != 0
+			x[i] = bit
+			y[i] = !bit
+		}
+		return x, y
+	}
+	total := 1 << m
+	for s := 0; s < total; s++ {
+		x, y := subset(s)
+		d, err := Disj(x, y)
+		if err != nil {
+			return err
+		}
+		if !d {
+			return fmt.Errorf("cc: fooling pair %d is not a 1-input", s)
+		}
+	}
+	for s := 0; s < total; s++ {
+		for t := s + 1; t < total; t++ {
+			xs, ys := subset(s)
+			xt, yt := subset(t)
+			d1, _ := Disj(xs, yt)
+			d2, _ := Disj(xt, ys)
+			if d1 && d2 {
+				return fmt.Errorf("cc: pairs %d and %d do not fool", s, t)
+			}
+		}
+	}
+	return nil
+}
+
+// FoolingSetBoundBits returns the communication lower bound implied by the
+// fooling set: log2 of its size, i.e. m bits for Disj_m.
+func FoolingSetBoundBits(m int) int { return m }

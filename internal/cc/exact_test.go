@@ -1,0 +1,73 @@
+package cc
+
+import "testing"
+
+func TestExactCCConstantAndTrivial(t *testing.T) {
+	// Constant function: 0 bits.
+	f := [][]bool{{true, true}, {true, true}}
+	if got, err := ExactCC(f); err != nil || got != 0 {
+		t.Errorf("constant: cc=%d err=%v, want 0", got, err)
+	}
+	// Equality on 1 bit (2x2 identity-ish): needs 2 bits of partition
+	// cost in this convention? At minimum it is positive.
+	eq := [][]bool{{true, false}, {false, true}}
+	got, err := ExactCC(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1 || got > 2 {
+		t.Errorf("EQ1: cc=%d, want 1..2", got)
+	}
+}
+
+func TestExactCCDisjointness(t *testing.T) {
+	// The fooling set gives D(Disj_m) >= m (partition cost); exact values
+	// must respect that and be monotone in m.
+	prev := 0
+	for m := 1; m <= 3; m++ {
+		f, err := DisjMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExactCC(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < FoolingSetBoundBits(m) {
+			t.Errorf("m=%d: exact cc %d below fooling bound %d", m, got, m)
+		}
+		if got < prev {
+			t.Errorf("m=%d: exact cc %d not monotone (prev %d)", m, got, prev)
+		}
+		prev = got
+		t.Logf("D(Disj_%d) = %d (fooling bound %d)", m, got, m)
+	}
+}
+
+func TestExactCCRowFunction(t *testing.T) {
+	// A function depending only on Alice's input: one row split per
+	// distinct value; for 2 distinct row values cost 1.
+	f := [][]bool{
+		{true, true, true, true},
+		{false, false, false, false},
+	}
+	got, err := ExactCC(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("row function: cc=%d, want 1", got)
+	}
+}
+
+func TestExactCCErrors(t *testing.T) {
+	if _, err := ExactCC(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := ExactCC([][]bool{{true}, {true, false}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := DisjMatrix(4); err == nil {
+		t.Error("oversized universe accepted")
+	}
+}

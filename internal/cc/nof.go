@@ -1,0 +1,130 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rsgraph"
+)
+
+// NOFProtocol is a deterministic 3-party number-on-forehead blackboard
+// protocol for set disjointness over a universe of size m: player A sees
+// (xb, xc), player B sees (xa, xc), player C sees (xa, xb). Run returns
+// the answer and the total number of bits written on the blackboard.
+type NOFProtocol interface {
+	Run(xa, xb, xc []bool) (disjoint bool, blackboardBits int64, err error)
+	Name() string
+}
+
+// TrivialNOF is the m+1-bit folklore protocol: player A sees both other
+// sets, writes xb ∩ xc (m bits); player B intersects with xa (which B
+// sees) and writes the answer.
+type TrivialNOF struct{}
+
+// Name implements NOFProtocol.
+func (TrivialNOF) Name() string { return "trivial-NOF" }
+
+// Run implements NOFProtocol.
+func (TrivialNOF) Run(xa, xb, xc []bool) (bool, int64, error) {
+	if _, err := Disj3(xa, xb, xc); err != nil {
+		return false, 0, err
+	}
+	m := len(xa)
+	// A writes xb ∩ xc.
+	board := make([]bool, m)
+	for i := range board {
+		board[i] = xb[i] && xc[i]
+	}
+	// B checks xa against the board.
+	disjoint := true
+	for i := range board {
+		if board[i] && xa[i] {
+			disjoint = false
+			break
+		}
+	}
+	return disjoint, int64(m) + 1, nil
+}
+
+// TriangleDetector is a CLIQUE-BCAST triangle-detection algorithm usable
+// inside the Theorem 24 reduction.
+type TriangleDetector func(g *graph.Graph, bandwidth int, seed int64) (found bool, stats core.Stats, err error)
+
+// TriangleNOF is Theorem 24's reduction: a 3-party NOF protocol for
+// Disj_m built from a CLIQUE-BCAST triangle-detection algorithm and a
+// Ruzsa–Szemerédi graph with m edge-disjoint triangles. Each player
+// simulates the nodes of one part; an edge of triangle t_i is present iff
+// i belongs to the input on the forehead of the player who cannot see
+// that edge's part-pair (A×B edges need X_C, B×C need X_A, C×A need X_B),
+// so every player can compute the inputs of all nodes it simulates.
+// Blackboard cost: |V|·b·R + 1 bits, the (7/3)n·b·R + 1 accounting of the
+// theorem (with |V| as built by our normalization).
+type TriangleNOF struct {
+	RS        *rsgraph.Tripartite
+	Bandwidth int
+	Seed      int64
+	Detect    TriangleDetector
+}
+
+// Name implements NOFProtocol.
+func (t *TriangleNOF) Name() string { return "theorem24-reduction" }
+
+// Universe returns m, the number of disjointness elements the reduction
+// supports (one per edge-disjoint triangle).
+func (t *TriangleNOF) Universe() int { return len(t.RS.Triangles) }
+
+// BuildInstance constructs G_X from the NOF inputs. Exported for tests of
+// the locality property (a player's simulated nodes never depend on the
+// player's own forehead set).
+func (t *TriangleNOF) BuildInstance(xa, xb, xc []bool) (*graph.Graph, error) {
+	m := t.Universe()
+	if len(xa) != m || len(xb) != m || len(xc) != m {
+		return nil, fmt.Errorf("%w: inputs %d/%d/%d for universe %d", ErrBadInput, len(xa), len(xb), len(xc), m)
+	}
+	g := graph.New(t.RS.G.N())
+	for i, tri := range t.RS.Triangles {
+		a, b, c := tri[0], tri[1], tri[2]
+		if xc[i] {
+			g.AddEdge(a, b) // A×B edges are controlled by X_C
+		}
+		if xa[i] {
+			g.AddEdge(b, c) // B×C edges by X_A
+		}
+		if xb[i] {
+			g.AddEdge(c, a) // C×A edges by X_B
+		}
+	}
+	return g, nil
+}
+
+// Run implements NOFProtocol: it builds G_X, runs the clique algorithm
+// (each player simulating one part and writing its nodes' broadcasts to
+// the blackboard), and converts "triangle found" into "not disjoint". One
+// extra bit announces the answer.
+func (t *TriangleNOF) Run(xa, xb, xc []bool) (bool, int64, error) {
+	g, err := t.BuildInstance(xa, xb, xc)
+	if err != nil {
+		return false, 0, err
+	}
+	found, stats, err := t.Detect(g, t.Bandwidth, t.Seed)
+	if err != nil {
+		return false, 0, err
+	}
+	// Every broadcast of the simulated run is a blackboard write.
+	return !found, stats.TotalBits + 1, nil
+}
+
+// AccountingBound returns the Theorem 24 blackboard budget for a run of R
+// rounds: |V|·b·R + 1 bits.
+func (t *TriangleNOF) AccountingBound(rounds int) int64 {
+	return int64(t.RS.G.N())*int64(t.Bandwidth)*int64(rounds) + 1
+}
+
+// ImpliedRoundBound inverts the reduction: given a lower bound L on the
+// NOF communication of Disj_m, any BCAST triangle-detection algorithm
+// needs at least (L-1)/(|V|·b) rounds on |V|-node graphs — the
+// R ≥ R_{3-NOF}(Disj_m)/O(n·b) statement of Theorem 24.
+func (t *TriangleNOF) ImpliedRoundBound(nofLowerBoundBits int64) float64 {
+	return float64(nofLowerBoundBits-1) / (float64(t.RS.G.N()) * float64(t.Bandwidth))
+}

@@ -1,0 +1,492 @@
+package circsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/routing"
+)
+
+// Simulate executes the Theorem 2 protocol for one player. myInputs holds
+// the values of the input positions this player initially owns (in
+// increasing input-index order, per plan's input layout). It returns the
+// values of the circuit outputs owned by this player, keyed by output
+// position.
+//
+// All players must call Simulate in the same round with the same plan and
+// a shared Router.
+func Simulate(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool) (map[int]bool, error) {
+	c, n, me := plan.Circ, plan.N, p.ID()
+	if n != p.N() {
+		return nil, fmt.Errorf("circsim: plan for %d players run on %d", n, p.N())
+	}
+	val := make(map[int32]bool)
+
+	// Constants are known to their owners from the start.
+	for id := 0; id < c.NumGates(); id++ {
+		if int(plan.Assign[id]) != me {
+			continue
+		}
+		switch c.Kind(id) {
+		case circuit.Const0:
+			val[int32(id)] = false
+		case circuit.Const1:
+			val[int32(id)] = true
+		}
+	}
+
+	if err := distributeInputs(p, plan, rt, myInputs, val); err != nil {
+		return nil, err
+	}
+
+	sentHeavy := make(map[int64]bool) // (gate*n + dst) forwarded already
+	recvHeavy := make(map[int32]bool) // heavy gate value already learned
+
+	for r := 1; r <= c.Depth(); r++ {
+		if err := stageDirect(p, plan, r, val, sentHeavy, recvHeavy); err != nil {
+			return nil, fmt.Errorf("circsim: stage %d direct: %w", r, err)
+		}
+		if err := stageLight(p, plan, rt, r, val); err != nil {
+			return nil, fmt.Errorf("circsim: stage %d light: %w", r, err)
+		}
+	}
+
+	out := make(map[int]bool)
+	for pos, g := range c.Outputs() {
+		if int(plan.Assign[g]) == me {
+			v, ok := val[g]
+			if !ok {
+				return nil, fmt.Errorf("circsim: output gate %d never evaluated", g)
+			}
+			out[pos] = v
+		}
+	}
+	return out, nil
+}
+
+// distributeInputs routes externally-held input bits to the owners of the
+// input gates (the balanced-input remark of Theorem 2).
+func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool, val map[int32]bool) error {
+	c, me := plan.Circ, p.ID()
+	perDst := make(map[int]*bits.Buffer)
+	expect := make(map[int]int)
+	k := 0
+	for i := 0; i < c.NumInputs(); i++ {
+		gate := int32(c.InputGate(i))
+		holder := int(plan.inOwner[i])
+		owner := int(plan.Assign[gate])
+		if holder == me {
+			if k >= len(myInputs) {
+				return fmt.Errorf("%w: player %d holds more inputs than provided", ErrBadInput, me)
+			}
+			v := myInputs[k]
+			k++
+			if owner == me {
+				val[gate] = v
+			} else {
+				buf := perDst[owner]
+				if buf == nil {
+					buf = bits.New(0)
+					perDst[owner] = buf
+				}
+				buf.WriteBool(v)
+			}
+		} else if owner == me {
+			expect[holder]++
+		}
+	}
+	if k != len(myInputs) {
+		return fmt.Errorf("%w: player %d given %d inputs, owns %d", ErrBadInput, me, len(myInputs), k)
+	}
+	if plan.maxInput == 0 {
+		return nil // all inputs are already local at their owners
+	}
+	readers, err := routeBitStrings(p, rt, perDst, expect, plan.S, plan.maxInput)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.NumInputs(); i++ {
+		gate := int32(c.InputGate(i))
+		holder := int(plan.inOwner[i])
+		owner := int(plan.Assign[gate])
+		if owner != me || holder == me {
+			continue
+		}
+		rd := readers[holder]
+		if rd == nil {
+			return fmt.Errorf("circsim: missing input stream from %d", holder)
+		}
+		v, err := rd.ReadBool()
+		if err != nil {
+			return fmt.Errorf("circsim: short input stream from %d: %w", holder, err)
+		}
+		val[gate] = v
+	}
+	return nil
+}
+
+// stageDirect performs cases (a) and (b) of the stage-r protocol: partial
+// digests into heavy gates, and one-shot forwarding of heavy values to
+// light consumers. Sender and receiver walk the identical enumeration, so
+// the wire carries no identifiers.
+func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
+	sentHeavy map[int64]bool, recvHeavy map[int32]bool) error {
+	c, n, me := plan.Circ, plan.N, p.ID()
+
+	perDst := make([]*bits.Buffer, n)
+	buf := func(q int) *bits.Buffer {
+		if perDst[q] == nil {
+			perDst[q] = bits.New(0)
+		}
+		return perDst[q]
+	}
+
+	// (a) sender side: partial digests for heavy gates of this layer.
+	for _, id := range plan.layers[r] {
+		if !plan.Heavy[id] {
+			continue
+		}
+		q := int(plan.Assign[id])
+		if q == me {
+			continue
+		}
+		var part []bool
+		for _, w := range c.Inputs(int(id)) {
+			if int(plan.Assign[w]) == me {
+				part = append(part, val[w])
+			}
+		}
+		if len(part) == 0 {
+			continue // not a contributor
+		}
+		digest, err := c.Partial(int(id), part)
+		if err != nil {
+			return err
+		}
+		buf(q).WriteUint(digest, c.SeparabilityWidth(int(id)))
+	}
+	// (b) sender side: heavy values consumed by light gates, deduplicated
+	// per destination.
+	for _, id := range plan.layers[r] {
+		if plan.Heavy[id] {
+			continue
+		}
+		q := int(plan.Assign[id])
+		if q == me {
+			continue
+		}
+		for _, w := range c.Inputs(int(id)) {
+			if !plan.Heavy[w] || int(plan.Assign[w]) != me {
+				continue
+			}
+			key := int64(w)*int64(n) + int64(q)
+			if sentHeavy[key] {
+				continue
+			}
+			sentHeavy[key] = true
+			buf(q).WriteBool(val[w])
+		}
+	}
+
+	var readers []*bits.Reader
+	if plan.maxDir[r] > 0 {
+		rounds := core.ChunkRounds(plan.maxDir[r], p.Bandwidth())
+		got, err := routing.ExchangeUnicast(p, perDst, rounds)
+		if err != nil {
+			return err
+		}
+		readers = make([]*bits.Reader, n)
+		for src, b := range got {
+			if b != nil {
+				readers[src] = bits.NewReader(b)
+			}
+		}
+	} else {
+		readers = make([]*bits.Reader, n)
+	}
+
+	// (a) receiver side: combine partials for my heavy gates.
+	for _, id := range plan.layers[r] {
+		if !plan.Heavy[id] || int(plan.Assign[id]) != me {
+			continue
+		}
+		width := c.SeparabilityWidth(int(id))
+		// Contributors in ascending player order; each link's buffer is
+		// parsed in gate order, which is consistent because a player owns
+		// at most one heavy gate.
+		contrib := make(map[int]bool)
+		var ownPart []bool
+		for _, w := range c.Inputs(int(id)) {
+			src := int(plan.Assign[w])
+			if src == me {
+				ownPart = append(ownPart, val[w])
+			} else {
+				contrib[src] = true
+			}
+		}
+		var partials []uint64
+		if len(ownPart) > 0 {
+			d, err := c.Partial(int(id), ownPart)
+			if err != nil {
+				return err
+			}
+			partials = append(partials, d)
+		}
+		srcs := make([]int, 0, len(contrib))
+		for s := range contrib {
+			srcs = append(srcs, s)
+		}
+		sort.Ints(srcs)
+		for _, src := range srcs {
+			if readers[src] == nil {
+				return fmt.Errorf("circsim: heavy gate %d missing partial from %d", id, src)
+			}
+			d, err := readers[src].ReadUint(width)
+			if err != nil {
+				return fmt.Errorf("circsim: short partial from %d: %w", src, err)
+			}
+			partials = append(partials, d)
+		}
+		v, err := c.Combine(int(id), partials)
+		if err != nil {
+			return err
+		}
+		val[id] = v
+	}
+	// (b) receiver side: learn heavy values feeding my light gates.
+	for _, id := range plan.layers[r] {
+		if plan.Heavy[id] || int(plan.Assign[id]) != me {
+			continue
+		}
+		for _, w := range c.Inputs(int(id)) {
+			src := int(plan.Assign[w])
+			if !plan.Heavy[w] || src == me || recvHeavy[w] {
+				continue
+			}
+			if readers[src] == nil {
+				return fmt.Errorf("circsim: light gate %d missing heavy value from %d", id, src)
+			}
+			v, err := readers[src].ReadBool()
+			if err != nil {
+				return fmt.Errorf("circsim: short heavy value from %d: %w", src, err)
+			}
+			val[w] = v
+			recvHeavy[w] = true
+		}
+	}
+	return nil
+}
+
+// stageLight performs case (c): light-to-light wire values, shipped as a
+// Lenzen-balanced demand in s-bit bundles, then evaluates this player's
+// light gates of the layer.
+func stageLight(p *core.Proc, plan *Plan, rt *routing.Router, r int, val map[int32]bool) error {
+	c, me := plan.Circ, p.ID()
+
+	if plan.hasLight[r] {
+		perDst := make(map[int]*bits.Buffer)
+		expect := make(map[int]int)
+		for _, id := range plan.layers[r] {
+			if plan.Heavy[id] {
+				continue
+			}
+			q := int(plan.Assign[id])
+			for _, w := range c.Inputs(int(id)) {
+				if plan.Heavy[w] {
+					continue
+				}
+				src := int(plan.Assign[w])
+				switch {
+				case src == me && q != me:
+					buf := perDst[q]
+					if buf == nil {
+						buf = bits.New(0)
+						perDst[q] = buf
+					}
+					buf.WriteBool(val[w])
+				case q == me && src != me:
+					expect[src]++
+				}
+			}
+		}
+		readers, err := routeBitStrings(p, rt, perDst, expect, plan.S, plan.maxLight[r])
+		if err != nil {
+			return err
+		}
+		for _, id := range plan.layers[r] {
+			if plan.Heavy[id] || int(plan.Assign[id]) != me {
+				continue
+			}
+			for _, w := range c.Inputs(int(id)) {
+				if plan.Heavy[w] {
+					continue
+				}
+				src := int(plan.Assign[w])
+				if src == me {
+					continue
+				}
+				rd := readers[src]
+				if rd == nil {
+					return fmt.Errorf("circsim: missing light stream from %d", src)
+				}
+				v, err := rd.ReadBool()
+				if err != nil {
+					return fmt.Errorf("circsim: short light stream from %d: %w", src, err)
+				}
+				val[w] = v
+			}
+		}
+	}
+
+	// Evaluate my light gates of this layer.
+	for _, id := range plan.layers[r] {
+		if plan.Heavy[id] || int(plan.Assign[id]) != me {
+			continue
+		}
+		ws := c.Inputs(int(id))
+		part := make([]bool, len(ws))
+		for i, w := range ws {
+			v, ok := val[w]
+			if !ok {
+				return fmt.Errorf("circsim: gate %d input %d unknown at player %d", id, w, me)
+			}
+			part[i] = v
+		}
+		digest, err := c.Partial(int(id), part)
+		if err != nil {
+			return err
+		}
+		v, err := c.Combine(int(id), []uint64{digest})
+		if err != nil {
+			return err
+		}
+		val[id] = v
+	}
+	return nil
+}
+
+// routeBitStrings ships one logical bit string per destination through the
+// balanced router, cutting each into unit-bit chunks tagged with a chunk
+// index. expect gives the number of bits this player must receive from
+// each source; maxPair is the globally agreed maximum string length, which
+// fixes the chunk-index width. It returns one reader per source.
+func routeBitStrings(p *core.Proc, rt *routing.Router, perDst map[int]*bits.Buffer,
+	expect map[int]int, unit, maxPair int) (map[int]*bits.Reader, error) {
+	idxW := chunkIdxWidth(maxPair, unit)
+	var msgs []routing.Msg
+	dsts := make([]int, 0, len(perDst))
+	for d := range perDst {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	for _, d := range dsts {
+		for i, ch := range perDst[d].Chunks(unit) {
+			payload := bits.New(idxW + ch.Len())
+			payload.WriteUint(uint64(i), idxW)
+			payload.Append(ch)
+			msgs = append(msgs, routing.Msg{Src: p.ID(), Dst: d, Payload: payload})
+		}
+	}
+	recv, err := rt.Route(p, msgs, idxW+unit)
+	if err != nil {
+		return nil, err
+	}
+	type piece struct {
+		idx int
+		buf *bits.Buffer
+	}
+	bySrc := make(map[int][]piece)
+	for _, m := range recv {
+		rd := bits.NewReader(m.Payload)
+		idx, err := rd.ReadUint(idxW)
+		if err != nil {
+			return nil, fmt.Errorf("circsim: bad chunk header: %w", err)
+		}
+		body, err := m.Payload.Slice(idxW, m.Payload.Len())
+		if err != nil {
+			return nil, err
+		}
+		bySrc[m.Src] = append(bySrc[m.Src], piece{idx: int(idx), buf: body})
+	}
+	out := make(map[int]*bits.Reader, len(bySrc))
+	for src, pieces := range bySrc {
+		sort.Slice(pieces, func(i, j int) bool { return pieces[i].idx < pieces[j].idx })
+		whole := bits.New(0)
+		for i, pc := range pieces {
+			if pc.idx != i {
+				return nil, fmt.Errorf("circsim: chunk %d missing from %d", i, src)
+			}
+			whole.Append(pc.buf)
+		}
+		if whole.Len() != expect[src] {
+			return nil, fmt.Errorf("circsim: stream from %d has %d bits, want %d",
+				src, whole.Len(), expect[src])
+		}
+		out[src] = bits.NewReader(whole)
+	}
+	for src, want := range expect {
+		if want > 0 && out[src] == nil {
+			return nil, fmt.Errorf("circsim: no stream from %d (want %d bits)", src, want)
+		}
+	}
+	return out, nil
+}
+
+// RunResult is the outcome of EvalOnClique.
+type RunResult struct {
+	Output []bool
+	Stats  core.Stats
+	Plan   *Plan
+}
+
+// EvalOnClique builds the Theorem 2 plan for the circuit and evaluates it
+// on a simulated CLIQUE-UCAST(n, bandwidth) network, with the input bits
+// initially distributed according to inputOwner (BalancedInputOwner if
+// nil). It returns the circuit outputs together with the round/bit
+// accounting of the run.
+func EvalOnClique(c *circuit.Circuit, n, bandwidth int, input []bool, inputOwner []int32, seed int64) (*RunResult, error) {
+	if inputOwner == nil {
+		inputOwner = BalancedInputOwner(c.NumInputs(), n)
+	}
+	plan, err := NewPlan(c, n, inputOwner)
+	if err != nil {
+		return nil, err
+	}
+	if len(input) != c.NumInputs() {
+		return nil, fmt.Errorf("%w: %d bits for %d inputs", ErrBadInput, len(input), c.NumInputs())
+	}
+	perPlayer := make([][]bool, n)
+	for i, o := range inputOwner {
+		perPlayer[o] = append(perPlayer[o], input[i])
+	}
+	rt := routing.NewRouter(n)
+	cfg := core.Config{N: n, Bandwidth: bandwidth, Model: core.Unicast, Seed: seed}
+	res, err := core.RunProcs(cfg, func(p *core.Proc) error {
+		out, err := Simulate(p, plan, rt, perPlayer[p.ID()])
+		if err != nil {
+			return err
+		}
+		p.SetOutput(out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	output := make([]bool, len(c.Outputs()))
+	seen := make([]bool, len(c.Outputs()))
+	for _, o := range res.Outputs {
+		for pos, v := range o.(map[int]bool) {
+			output[pos] = v
+			seen[pos] = true
+		}
+	}
+	for pos, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("circsim: output %d unreported", pos)
+		}
+	}
+	return &RunResult{Output: output, Stats: res.Stats, Plan: plan}, nil
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ParityXorTree builds a fan-in bounded XOR tree computing the parity of
+// nInputs bits. Depth is ceil(log_fanIn(nInputs)).
+func ParityXorTree(nInputs, fanIn int) (*Circuit, error) {
+	if nInputs < 1 || fanIn < 2 {
+		return nil, fmt.Errorf("%w: parity tree over %d inputs fan-in %d", ErrBadGate, nInputs, fanIn)
+	}
+	b := NewBuilder()
+	level := make([]int, nInputs)
+	for i := range level {
+		level[i] = b.Input()
+	}
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += fanIn {
+			end := i + fanIn
+			if end > len(level) {
+				end = len(level)
+			}
+			if end-i == 1 {
+				next = append(next, level[i])
+				continue
+			}
+			next = append(next, b.Gate(Xor, 0, level[i:end]...))
+		}
+		level = next
+	}
+	b.Output(level[0])
+	return b.Build()
+}
+
+// ParityMod2 builds the depth-2 CC[2] circuit NOT(MOD2(x)): a single
+// unbounded fan-in MOD2 gate (1 iff the sum is even) followed by NOT,
+// computing parity.
+func ParityMod2(nInputs int) (*Circuit, error) {
+	b := NewBuilder()
+	in := make([]int, nInputs)
+	for i := range in {
+		in[i] = b.Input()
+	}
+	m := b.Gate(Mod, 2, in...)
+	b.Output(b.Gate(Not, 0, m))
+	return b.Build()
+}
+
+// MajorityCircuit builds a single unbounded fan-in threshold gate
+// computing MAJ(x) = [sum >= ceil((n+1)/2)].
+func MajorityCircuit(nInputs int) (*Circuit, error) {
+	b := NewBuilder()
+	in := make([]int, nInputs)
+	for i := range in {
+		in[i] = b.Input()
+	}
+	b.Output(b.Gate(Threshold, (nInputs+2)/2, in...))
+	return b.Build()
+}
+
+// MajorityOfMajorities builds a depth-2 TC circuit: inputs are split into
+// `groups` blocks, each feeding a majority gate, whose outputs feed a final
+// majority gate.
+func MajorityOfMajorities(nInputs, groups int) (*Circuit, error) {
+	if groups < 1 || groups > nInputs {
+		return nil, fmt.Errorf("%w: %d groups over %d inputs", ErrBadGate, groups, nInputs)
+	}
+	b := NewBuilder()
+	in := make([]int, nInputs)
+	for i := range in {
+		in[i] = b.Input()
+	}
+	var mids []int
+	for g := 0; g < groups; g++ {
+		lo, hi := g*nInputs/groups, (g+1)*nInputs/groups
+		blk := in[lo:hi]
+		mids = append(mids, b.Gate(Threshold, (len(blk)+2)/2, blk...))
+	}
+	b.Output(b.Gate(Threshold, (len(mids)+2)/2, mids...))
+	return b.Build()
+}
+
+// InnerProductMod2 builds the depth-2 circuit computing the F2 inner
+// product of two nPairs-bit vectors: inputs are x_0..x_{k-1}, y_0..y_{k-1}
+// in that order; output is XOR_i (x_i AND y_i).
+func InnerProductMod2(nPairs int) (*Circuit, error) {
+	b := NewBuilder()
+	xs := make([]int, nPairs)
+	ys := make([]int, nPairs)
+	for i := range xs {
+		xs[i] = b.Input()
+	}
+	for i := range ys {
+		ys[i] = b.Input()
+	}
+	ands := make([]int, nPairs)
+	for i := range ands {
+		ands[i] = b.Gate(And, 0, xs[i], ys[i])
+	}
+	b.Output(b.Gate(Xor, 0, ands...))
+	return b.Build()
+}
+
+// DisjointnessCircuit builds NOT(OR_i (x_i AND y_i)): 1 iff the two
+// characteristic vectors are disjoint. Input order matches
+// InnerProductMod2.
+func DisjointnessCircuit(nPairs int) (*Circuit, error) {
+	b := NewBuilder()
+	xs := make([]int, nPairs)
+	ys := make([]int, nPairs)
+	for i := range xs {
+		xs[i] = b.Input()
+	}
+	for i := range ys {
+		ys[i] = b.Input()
+	}
+	ands := make([]int, nPairs)
+	for i := range ands {
+		ands[i] = b.Gate(And, 0, xs[i], ys[i])
+	}
+	b.Output(b.Gate(Not, 0, b.Gate(Or, 0, ands...)))
+	return b.Build()
+}
+
+// RandomCC builds a random CC[m] circuit (only MOD_m gates, the class of
+// Section 2's ACC/CC discussion): `depth` layers of `width` MOD_m gates,
+// each wired to fanIn uniformly random gates of the previous layer, with a
+// final MOD_m output gate over the last layer.
+func RandomCC(nInputs, width, depth, fanIn, m int, rng *rand.Rand) (*Circuit, error) {
+	if depth < 1 || width < 1 || fanIn < 1 {
+		return nil, fmt.Errorf("%w: RandomCC(%d,%d,%d)", ErrBadGate, width, depth, fanIn)
+	}
+	b := NewBuilder()
+	prev := make([]int, nInputs)
+	for i := range prev {
+		prev[i] = b.Input()
+	}
+	for d := 0; d < depth; d++ {
+		next := make([]int, width)
+		for i := range next {
+			wires := make([]int, fanIn)
+			for j := range wires {
+				wires[j] = prev[rng.Intn(len(prev))]
+			}
+			next[i] = b.Gate(Mod, m, wires...)
+		}
+		prev = next
+	}
+	b.Output(b.Gate(Mod, m, prev...))
+	return b.Build()
+}
+
+// RandomACC builds a random circuit mixing AND, OR, XOR and MOD_m gates in
+// `depth` layers of `width` gates over random wires from the previous
+// layer. Used as a structured workload for the Theorem 2 simulation.
+func RandomACC(nInputs, width, depth, fanIn, m int, rng *rand.Rand) (*Circuit, error) {
+	if depth < 1 || width < 1 || fanIn < 1 {
+		return nil, fmt.Errorf("%w: RandomACC(%d,%d,%d)", ErrBadGate, width, depth, fanIn)
+	}
+	kinds := []Kind{And, Or, Xor, Mod}
+	b := NewBuilder()
+	prev := make([]int, nInputs)
+	for i := range prev {
+		prev[i] = b.Input()
+	}
+	for d := 0; d < depth; d++ {
+		next := make([]int, width)
+		for i := range next {
+			wires := make([]int, fanIn)
+			for j := range wires {
+				wires[j] = prev[rng.Intn(len(prev))]
+			}
+			k := kinds[rng.Intn(len(kinds))]
+			param := 0
+			if k == Mod {
+				param = m
+			}
+			next[i] = b.Gate(k, param, wires...)
+		}
+		prev = next
+	}
+	b.Output(b.Gate(Or, 0, prev...))
+	return b.Build()
+}

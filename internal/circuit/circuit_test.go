@@ -1,0 +1,359 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomInput(n int, rng *rand.Rand) []bool {
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = rng.Intn(2) == 1
+	}
+	return in
+}
+
+func TestParityXorTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fanIn := range []int{2, 3, 5} {
+		c, err := ParityXorTree(17, fanIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			in := randomInput(17, rng)
+			want := false
+			for _, v := range in {
+				want = want != v
+			}
+			out, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != want {
+				t.Fatalf("fanIn=%d: parity(%v) = %v, want %v", fanIn, in, out[0], want)
+			}
+		}
+	}
+}
+
+func TestParityMod2(t *testing.T) {
+	c, err := ParityMod2(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", c.Depth())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		in := randomInput(9, rng)
+		want := false
+		for _, v := range in {
+			want = want != v
+		}
+		out, _ := c.Eval(in)
+		if out[0] != want {
+			t.Fatalf("parity mismatch on %v", in)
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	c, err := MajorityCircuit(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		in := randomInput(7, rng)
+		ones := 0
+		for _, v := range in {
+			if v {
+				ones++
+			}
+		}
+		out, _ := c.Eval(in)
+		if out[0] != (ones >= 4) {
+			t.Fatalf("majority(%v) = %v with %d ones", in, out[0], ones)
+		}
+	}
+}
+
+func TestInnerProductAndDisjointness(t *testing.T) {
+	const k = 11
+	ip, err := InnerProductMod2(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := DisjointnessCircuit(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInput(2*k, rng)
+		wantIP := false
+		wantDisj := true
+		for i := 0; i < k; i++ {
+			if in[i] && in[k+i] {
+				wantIP = !wantIP
+				wantDisj = false
+			}
+		}
+		outIP, _ := ip.Eval(in)
+		outDJ, _ := dj.Eval(in)
+		if outIP[0] != wantIP {
+			t.Fatalf("IP mismatch on trial %d", trial)
+		}
+		if outDJ[0] != wantDisj {
+			t.Fatalf("DISJ mismatch on trial %d", trial)
+		}
+	}
+}
+
+func TestModGateSemantics(t *testing.T) {
+	// MOD_3 outputs 1 iff sum divisible by 3.
+	b := NewBuilder()
+	in := []int{b.Input(), b.Input(), b.Input(), b.Input()}
+	b.Output(b.Gate(Mod, 3, in...))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 16; mask++ {
+		input := make([]bool, 4)
+		ones := 0
+		for i := range input {
+			if mask&(1<<i) != 0 {
+				input[i] = true
+				ones++
+			}
+		}
+		out, _ := c.Eval(input)
+		if out[0] != (ones%3 == 0) {
+			t.Fatalf("MOD3 with %d ones = %v", ones, out[0])
+		}
+	}
+}
+
+func TestLayersDepthWires(t *testing.T) {
+	// x0 -> NOT -> AND(x1, not) -> OR(and, x0)
+	b := NewBuilder()
+	x0, x1 := b.Input(), b.Input()
+	nt := b.Gate(Not, 0, x0)
+	ad := b.Gate(And, 0, x1, nt)
+	or := b.Gate(Or, 0, ad, x0)
+	b.Output(or)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", c.Depth())
+	}
+	wantLayers := map[int]int{x0: 0, x1: 0, nt: 1, ad: 2, or: 3}
+	for g, want := range wantLayers {
+		if c.Layer(g) != want {
+			t.Errorf("layer(%d) = %d, want %d", g, c.Layer(g), want)
+		}
+	}
+	if c.Wires() != 5 {
+		t.Errorf("wires = %d, want 5", c.Wires())
+	}
+	if c.FanOut(x0) != 2 {
+		t.Errorf("fanout(x0) = %d, want 2", c.FanOut(x0))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Input()
+	b.Gate(Not, 0, 5) // bad wire
+	if _, err := b.Build(); err == nil {
+		t.Error("bad wire accepted")
+	}
+
+	b2 := NewBuilder()
+	x := b2.Input()
+	b2.Gate(Threshold, 9, x) // threshold above fan-in
+	if _, err := b2.Build(); err == nil {
+		t.Error("bad threshold accepted")
+	}
+
+	b3 := NewBuilder()
+	b3.Input()
+	if _, err := b3.Build(); err != ErrNoOutput {
+		t.Errorf("no-output build err = %v", err)
+	}
+
+	b4 := NewBuilder()
+	x4 := b4.Input()
+	b4.Gate(Mod, 1, x4) // modulus < 2
+	if _, err := b4.Build(); err == nil {
+		t.Error("MOD_1 accepted")
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	one := b.Const(true)
+	zero := b.Const(false)
+	b.Output(b.Gate(And, 0, x, one))
+	b.Output(b.Gate(Or, 0, x, zero))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []bool{false, true} {
+		out, _ := c.Eval([]bool{v})
+		if out[0] != v || out[1] != v {
+			t.Errorf("const-gate identity failed for %v: %v", v, out)
+		}
+	}
+}
+
+// TestSeparabilityDefinition1 is the core property test: for every gate
+// kind and every random partition of its inputs, combining the partial
+// digests h(g_1(..), ..., g_k(..)) must equal evaluating the gate on all
+// inputs at once, and the digests must fit in SeparabilityWidth bits.
+func TestSeparabilityDefinition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	build := func(kind Kind, param, fanIn int) *Circuit {
+		b := NewBuilder()
+		in := make([]int, fanIn)
+		for i := range in {
+			in[i] = b.Input()
+		}
+		b.Output(b.Gate(kind, param, in...))
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cases := []struct {
+		kind  Kind
+		param int
+		fanIn int
+	}{
+		{And, 0, 9}, {Or, 0, 9}, {Xor, 0, 9}, {Not, 0, 1},
+		{Mod, 2, 10}, {Mod, 3, 10}, {Mod, 6, 12},
+		{Threshold, 1, 8}, {Threshold, 4, 8}, {Threshold, 8, 8},
+	}
+	for _, tc := range cases {
+		c := build(tc.kind, tc.param, tc.fanIn)
+		g := c.NumGates() - 1 // the logic gate
+		width := c.SeparabilityWidth(g)
+		for trial := 0; trial < 60; trial++ {
+			in := randomInput(tc.fanIn, rng)
+			// Reference output.
+			out, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Random partition into 1..fanIn parts.
+			k := 1 + rng.Intn(tc.fanIn)
+			parts := make([][]bool, k)
+			for _, v := range in {
+				j := rng.Intn(k)
+				parts[j] = append(parts[j], v)
+			}
+			partials := make([]uint64, 0, k)
+			for _, part := range parts {
+				if len(part) == 0 && tc.kind == Not {
+					continue
+				}
+				p, err := c.Partial(g, part)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if width < 64 && p >= 1<<uint(width) {
+					t.Fatalf("%v partial %d does not fit in %d bits", tc.kind, p, width)
+				}
+				partials = append(partials, p)
+			}
+			got, err := c.Combine(g, partials)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != out[0] {
+				t.Fatalf("%v(param=%d): partition eval %v != direct %v on %v",
+					tc.kind, tc.param, got, out[0], in)
+			}
+		}
+	}
+}
+
+func TestRandomCCAndACCBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cc, err := RandomCC(20, 8, 3, 4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Depth() != 4 {
+		t.Errorf("CC depth = %d, want 4", cc.Depth())
+	}
+	for g := 0; g < cc.NumGates(); g++ {
+		if k := cc.Kind(g); k != Input && k != Mod {
+			t.Fatalf("CC circuit contains %v gate", k)
+		}
+	}
+	if _, err := cc.Eval(randomInput(20, rng)); err != nil {
+		t.Fatal(err)
+	}
+
+	acc, err := RandomACC(20, 8, 3, 4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Eval(randomInput(20, rng)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPartsInPartition(t *testing.T) {
+	// An empty part must act as the identity for every symmetric kind.
+	b := NewBuilder()
+	in := []int{b.Input(), b.Input(), b.Input()}
+	b.Output(b.Gate(Threshold, 2, in...))
+	c, _ := b.Build()
+	g := c.NumGates() - 1
+	p1, _ := c.Partial(g, []bool{true, true})
+	pEmpty, _ := c.Partial(g, nil)
+	got, _ := c.Combine(g, []uint64{p1, pEmpty})
+	if !got {
+		t.Error("THR_2 with 2 ones and an empty part = false")
+	}
+}
+
+func TestEvalInputLengthCheck(t *testing.T) {
+	c, _ := MajorityCircuit(5)
+	if _, err := c.Eval(make([]bool, 4)); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestMajorityOfMajorities(t *testing.T) {
+	c, err := MajorityOfMajorities(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", c.Depth())
+	}
+	// All-ones input must yield true; all-zeros false.
+	allOnes := make([]bool, 12)
+	for i := range allOnes {
+		allOnes[i] = true
+	}
+	out, _ := c.Eval(allOnes)
+	if !out[0] {
+		t.Error("MoM(1^12) = false")
+	}
+	out, _ = c.Eval(make([]bool, 12))
+	if out[0] {
+		t.Error("MoM(0^12) = true")
+	}
+}

@@ -1,0 +1,352 @@
+// Package core implements the congested clique model of Drucker, Kuhn and
+// Oshman (PODC 2014) as an executable, bit-accurate synchronous round
+// engine. It supports the three models used in the paper:
+//
+//   - CLIQUE-UCAST(n,b): n players over a complete network; in each round a
+//     player may send a different message of at most b bits on each of its
+//     n-1 links.
+//   - CLIQUE-BCAST(n,b): each player broadcasts a single message of at most
+//     b bits per round to all other players (the multi-party shared
+//     blackboard model).
+//   - CONGEST-UCAST: unicast, but messages may travel only along the edges
+//     of a given topology graph (the paper's Section 3.2 lower bounds).
+//
+// The engine enforces the bandwidth bound at send time, meters rounds,
+// total bits, per-link load, per-node broadcast bits and (optionally) the
+// bits crossing a designated cut — the quantity the paper's Section 3 lower
+// bounds reason about.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+// Model selects the communication model.
+type Model int
+
+// The three models used in the paper.
+const (
+	Unicast   Model = iota + 1 // CLIQUE-UCAST
+	Broadcast                  // CLIQUE-BCAST
+	Congest                    // CONGEST-UCAST over Config.Topology
+)
+
+func (m Model) String() string {
+	switch m {
+	case Unicast:
+		return "CLIQUE-UCAST"
+	case Broadcast:
+		return "CLIQUE-BCAST"
+	case Congest:
+		return "CONGEST-UCAST"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Errors reported by the engine.
+var (
+	ErrBandwidth    = errors.New("core: message exceeds bandwidth")
+	ErrBadModel     = errors.New("core: operation not allowed in this model")
+	ErrNotNeighbor  = errors.New("core: destination is not a topology neighbor")
+	ErrDoubleSend   = errors.New("core: second message on the same link in one round")
+	ErrRoundLimit   = errors.New("core: exceeded MaxRounds; protocol diverged")
+	ErrBadConfig    = errors.New("core: invalid configuration")
+	ErrSelfMessage  = errors.New("core: node may not message itself")
+	ErrUnknownNode  = errors.New("core: destination out of range")
+	ErrAfterBarrier = errors.New("core: send after node halted")
+)
+
+// Config describes a run of the model.
+type Config struct {
+	N         int          // number of players
+	Bandwidth int          // b, in bits per link (UCAST/CONGEST) or per broadcast (BCAST)
+	Model     Model        //
+	Topology  *graph.Graph // required iff Model == Congest
+	Seed      int64        // base seed; node i draws from Seed*1e9 + i
+	MaxRounds int          // safety bound; 0 means DefaultMaxRounds
+	CutSide   []bool       // optional: membership of the cut side for CutBits accounting
+}
+
+// DefaultMaxRounds bounds runaway protocols.
+const DefaultMaxRounds = 1 << 20
+
+func (c *Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadConfig, c.N)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("%w: Bandwidth=%d", ErrBadConfig, c.Bandwidth)
+	}
+	switch c.Model {
+	case Unicast, Broadcast:
+	case Congest:
+		if c.Topology == nil || c.Topology.N() != c.N {
+			return fmt.Errorf("%w: Congest model requires Topology on N vertices", ErrBadConfig)
+		}
+	default:
+		return fmt.Errorf("%w: unknown model %d", ErrBadConfig, c.Model)
+	}
+	if c.CutSide != nil && len(c.CutSide) != c.N {
+		return fmt.Errorf("%w: CutSide length %d != N %d", ErrBadConfig, len(c.CutSide), c.N)
+	}
+	return nil
+}
+
+// Stats is the accounting the lower/upper bounds of the paper reason about.
+type Stats struct {
+	Rounds       int     // rounds in which at least one message was sent
+	Steps        int     // engine iterations until all nodes halted
+	TotalBits    int64   // sum of bits over all sent messages
+	MaxLinkBits  int     // max bits sent on one directed link in one round
+	MaxNodeBits  int64   // max total bits sent by a single node over the run
+	CutBits      int64   // bits crossing Config.CutSide (0 if no cut given)
+	NodeSentBits []int64 // per-node totals
+}
+
+// Result of a run: per-node outputs plus accounting.
+type Result struct {
+	Outputs []interface{}
+	Stats   Stats
+}
+
+// Node is the callback form of a protocol. The engine invokes Step once per
+// round; in[j] is the message received from node j this round (nil if
+// none). For the Broadcast model in[j] is node j's broadcast from the
+// previous round. Step reports done=true when the node has halted; halted
+// nodes are not stepped again.
+type Node interface {
+	Step(ctx *Ctx, in []*bits.Buffer) (done bool, err error)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(ctx *Ctx, in []*bits.Buffer) (bool, error)
+
+// Step implements Node.
+func (f NodeFunc) Step(ctx *Ctx, in []*bits.Buffer) (bool, error) { return f(ctx, in) }
+
+// Ctx is a node's handle onto the network during one round.
+type Ctx struct {
+	id     int
+	cfg    *Config
+	rng    *rand.Rand
+	round  int
+	out    []*bits.Buffer // staged unicast messages, indexed by destination
+	bcast  *bits.Buffer   // staged broadcast
+	output interface{}
+	halted bool
+}
+
+// ID returns this node's identifier in [0, N).
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of players.
+func (c *Ctx) N() int { return c.cfg.N }
+
+// Bandwidth returns b.
+func (c *Ctx) Bandwidth() int { return c.cfg.Bandwidth }
+
+// Model returns the communication model of the run.
+func (c *Ctx) Model() Model { return c.cfg.Model }
+
+// Round returns the current round number (0-based).
+func (c *Ctx) Round() int { return c.round }
+
+// Rand returns this node's private deterministic randomness source.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// SetOutput records the node's final (or running) output value.
+func (c *Ctx) SetOutput(v interface{}) { c.output = v }
+
+// Send stages msg for delivery to dst at the start of the next round.
+// It enforces the model's constraints: unicast only in UCAST/CONGEST, at
+// most one message per link per round, at most Bandwidth bits, and in the
+// CONGEST model dst must be a topology neighbor.
+func (c *Ctx) Send(dst int, msg *bits.Buffer) error {
+	if c.halted {
+		return ErrAfterBarrier
+	}
+	if c.cfg.Model == Broadcast {
+		return fmt.Errorf("%w: Send in %v", ErrBadModel, c.cfg.Model)
+	}
+	if dst < 0 || dst >= c.cfg.N {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, dst)
+	}
+	if dst == c.id {
+		return ErrSelfMessage
+	}
+	if c.cfg.Model == Congest && !c.cfg.Topology.HasEdge(c.id, dst) {
+		return fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, c.id, dst)
+	}
+	if msg.Len() > c.cfg.Bandwidth {
+		return fmt.Errorf("%w: %d > %d bits on link %d->%d",
+			ErrBandwidth, msg.Len(), c.cfg.Bandwidth, c.id, dst)
+	}
+	if c.out[dst] != nil {
+		return fmt.Errorf("%w: %d -> %d", ErrDoubleSend, c.id, dst)
+	}
+	c.out[dst] = msg.Clone()
+	return nil
+}
+
+// Broadcast stages msg for delivery to every other node next round. In the
+// UCAST model it is sugar for sending the same message on every link (as
+// the paper notes, unicast subsumes broadcast); in the BCAST model it is
+// the only way to communicate.
+func (c *Ctx) Broadcast(msg *bits.Buffer) error {
+	if c.halted {
+		return ErrAfterBarrier
+	}
+	if msg.Len() > c.cfg.Bandwidth {
+		return fmt.Errorf("%w: broadcast of %d > %d bits by node %d",
+			ErrBandwidth, msg.Len(), c.cfg.Bandwidth, c.id)
+	}
+	switch c.cfg.Model {
+	case Broadcast:
+		if c.bcast != nil {
+			return fmt.Errorf("%w: second broadcast by node %d", ErrDoubleSend, c.id)
+		}
+		c.bcast = msg.Clone()
+		return nil
+	case Unicast:
+		for dst := 0; dst < c.cfg.N; dst++ {
+			if dst == c.id {
+				continue
+			}
+			if err := c.Send(dst, msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Congest:
+		for _, dst := range c.cfg.Topology.Neighbors(c.id) {
+			if err := c.Send(dst, msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return ErrBadModel
+	}
+}
+
+// Run executes the protocol given by nodes (one per player) until every
+// node reports done, and returns per-node outputs plus accounting.
+func Run(cfg Config, nodes []Node) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != cfg.N {
+		return nil, fmt.Errorf("%w: %d nodes for N=%d", ErrBadConfig, len(nodes), cfg.N)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	ctxs := make([]*Ctx, cfg.N)
+	for i := range ctxs {
+		ctxs[i] = &Ctx{
+			id:  i,
+			cfg: &cfg,
+			rng: rand.New(rand.NewSource(cfg.Seed*1_000_000_007 + int64(i))),
+			out: make([]*bits.Buffer, cfg.N),
+		}
+	}
+
+	stats := Stats{NodeSentBits: make([]int64, cfg.N)}
+	inboxes := make([][]*bits.Buffer, cfg.N)
+	for i := range inboxes {
+		inboxes[i] = make([]*bits.Buffer, cfg.N)
+	}
+	alive := cfg.N
+	done := make([]bool, cfg.N)
+
+	for step := 0; alive > 0; step++ {
+		if step >= maxRounds {
+			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+		}
+		stats.Steps = step + 1
+		// Step all live nodes on their current inboxes.
+		for i, node := range nodes {
+			if done[i] {
+				continue
+			}
+			ctx := ctxs[i]
+			ctx.round = step
+			d, err := node.Step(ctx, inboxes[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: node %d failed in round %d: %w", i, step, err)
+			}
+			if d {
+				done[i] = true
+				ctx.halted = true
+				alive--
+			}
+		}
+		// Collect and deliver.
+		for i := range inboxes {
+			for j := range inboxes[i] {
+				inboxes[i][j] = nil
+			}
+		}
+		sentAny := false
+		for i, ctx := range ctxs {
+			if ctx.bcast != nil {
+				msg := ctx.bcast
+				ctx.bcast = nil
+				sentAny = true
+				stats.TotalBits += int64(msg.Len())
+				stats.NodeSentBits[i] += int64(msg.Len())
+				if msg.Len() > stats.MaxLinkBits {
+					stats.MaxLinkBits = msg.Len()
+				}
+				if cfg.CutSide != nil {
+					// A broadcast is readable by the other side of the cut
+					// once (shared blackboard), so it contributes its length.
+					stats.CutBits += int64(msg.Len())
+				}
+				for j := range nodes {
+					if j != i {
+						inboxes[j][i] = msg
+					}
+				}
+			}
+			for dst, msg := range ctx.out {
+				if msg == nil {
+					continue
+				}
+				ctx.out[dst] = nil
+				sentAny = true
+				stats.TotalBits += int64(msg.Len())
+				stats.NodeSentBits[i] += int64(msg.Len())
+				if msg.Len() > stats.MaxLinkBits {
+					stats.MaxLinkBits = msg.Len()
+				}
+				if cfg.CutSide != nil && cfg.CutSide[i] != cfg.CutSide[dst] {
+					stats.CutBits += int64(msg.Len())
+				}
+				inboxes[dst][i] = msg
+			}
+		}
+		if sentAny {
+			stats.Rounds++
+		}
+	}
+	for i, b := range stats.NodeSentBits {
+		if b > stats.MaxNodeBits {
+			stats.MaxNodeBits = b
+		}
+		_ = i
+	}
+	outputs := make([]interface{}, cfg.N)
+	for i, ctx := range ctxs {
+		outputs[i] = ctx.output
+	}
+	return &Result{Outputs: outputs, Stats: stats}, nil
+}

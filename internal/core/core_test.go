@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+func idMsg(id, n int) *bits.Buffer {
+	b := bits.New(8)
+	b.WriteUint(uint64(id), bits.UintWidth(uint64(n-1)))
+	return b
+}
+
+func TestBroadcastAllToAll(t *testing.T) {
+	const n = 8
+	cfg := Config{N: n, Bandwidth: 8, Model: Broadcast}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		if err := p.Broadcast(idMsg(p.ID(), n)); err != nil {
+			return err
+		}
+		in := p.Next()
+		got := make([]int, 0, n-1)
+		for src, msg := range in {
+			if msg == nil {
+				continue
+			}
+			v, err := bits.NewReader(msg).ReadUint(bits.UintWidth(n - 1))
+			if err != nil {
+				return err
+			}
+			if int(v) != src {
+				t.Errorf("node %d: message from %d decodes to %d", p.ID(), src, v)
+			}
+			got = append(got, src)
+		}
+		p.SetOutput(len(got))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if out.(int) != n-1 {
+			t.Errorf("node %d received %d broadcasts, want %d", i, out, n-1)
+		}
+	}
+	if res.Stats.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Stats.Rounds)
+	}
+	if res.Stats.TotalBits != int64(n*bits.UintWidth(n-1)) {
+		t.Errorf("total bits = %d", res.Stats.TotalBits)
+	}
+}
+
+func TestUnicastRingToken(t *testing.T) {
+	const n, laps = 5, 3
+	cfg := Config{N: n, Bandwidth: 8, Model: Unicast}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		hops := 0
+		if p.ID() == 0 {
+			msg := bits.New(8)
+			msg.WriteUint(0, 8)
+			if err := p.Send(1, msg); err != nil {
+				return err
+			}
+			hops = 1
+		}
+		for {
+			in := p.Next()
+			prev := (p.ID() + n - 1) % n
+			msg := in[prev]
+			if msg == nil {
+				if p.Round() >= laps*n {
+					p.SetOutput(hops)
+					return nil
+				}
+				continue
+			}
+			v, _ := bits.NewReader(msg).ReadUint(8)
+			if int(v) >= laps*n-1 {
+				p.SetOutput(hops)
+				return nil
+			}
+			out := bits.New(8)
+			out.WriteUint(v+1, 8)
+			if err := p.Send((p.ID()+1)%n, out); err != nil {
+				return err
+			}
+			hops++
+			_ = hops
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token is transmitted with values 0..laps*n-1, one hop per round.
+	if res.Stats.Rounds != laps*n {
+		t.Errorf("rounds = %d, want %d", res.Stats.Rounds, laps*n)
+	}
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	cfg := Config{N: 2, Bandwidth: 4, Model: Broadcast}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		msg := bits.New(5)
+		msg.WriteUint(31, 5)
+		return p.Broadcast(msg)
+	})
+	if !errors.Is(err, ErrBandwidth) {
+		t.Errorf("err = %v, want ErrBandwidth", err)
+	}
+}
+
+func TestNoUnicastInBroadcastModel(t *testing.T) {
+	cfg := Config{N: 3, Bandwidth: 8, Model: Broadcast}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		return p.Send(1, idMsg(p.ID(), 3))
+	})
+	if !errors.Is(err, ErrBadModel) {
+		t.Errorf("err = %v, want ErrBadModel", err)
+	}
+}
+
+func TestCongestTopologyEnforced(t *testing.T) {
+	topo := graph.Path(3) // 0-1-2
+	cfg := Config{N: 3, Bandwidth: 8, Model: Congest, Topology: topo}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(2, idMsg(0, 3)) // not a neighbor
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrNotNeighbor) {
+		t.Errorf("err = %v, want ErrNotNeighbor", err)
+	}
+
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() == 0 {
+			if err := p.Send(1, idMsg(0, 3)); err != nil {
+				return err
+			}
+		}
+		if p.ID() == 1 {
+			in := p.Next()
+			p.SetOutput(in[0] != nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != true {
+		t.Error("neighbor message not delivered in CONGEST")
+	}
+}
+
+func TestDoubleSendRejected(t *testing.T) {
+	cfg := Config{N: 2, Bandwidth: 8, Model: Unicast}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() == 0 {
+			if err := p.Send(1, idMsg(0, 2)); err != nil {
+				return err
+			}
+			return p.Send(1, idMsg(0, 2))
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrDoubleSend) {
+		t.Errorf("err = %v, want ErrDoubleSend", err)
+	}
+}
+
+func TestSelfAndRangeChecks(t *testing.T) {
+	cfg := Config{N: 2, Bandwidth: 8, Model: Unicast}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		return p.Send(p.ID(), idMsg(0, 2))
+	})
+	if !errors.Is(err, ErrSelfMessage) {
+		t.Errorf("self send err = %v", err)
+	}
+	_, err = RunProcs(cfg, func(p *Proc) error {
+		return p.Send(99, idMsg(0, 2))
+	})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("range err = %v", err)
+	}
+}
+
+func TestCutBitsUnicast(t *testing.T) {
+	// Nodes 0,1 on side A; 2,3 on side B. Each A node sends 5 bits to each
+	// B node and to its A partner; only A->B should count: 2*2*5 = 20.
+	cfg := Config{
+		N: 4, Bandwidth: 8, Model: Unicast,
+		CutSide: []bool{true, true, false, false},
+	}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() < 2 {
+			msg := bits.New(5)
+			msg.WriteUint(7, 5)
+			for dst := 0; dst < 4; dst++ {
+				if dst == p.ID() {
+					continue
+				}
+				if err := p.Send(dst, msg); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CutBits != 20 {
+		t.Errorf("CutBits = %d, want 20", res.Stats.CutBits)
+	}
+}
+
+func TestCutBitsBroadcastCountsOnce(t *testing.T) {
+	cfg := Config{
+		N: 4, Bandwidth: 8, Model: Broadcast,
+		CutSide: []bool{true, false, false, false},
+	}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		msg := bits.New(3)
+		msg.WriteUint(5, 3)
+		return p.Broadcast(msg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 4 broadcasts crosses the cut exactly once on a blackboard.
+	if res.Stats.CutBits != 12 {
+		t.Errorf("CutBits = %d, want 12", res.Stats.CutBits)
+	}
+}
+
+func TestMaxRoundsGuard(t *testing.T) {
+	cfg := Config{N: 2, Bandwidth: 8, Model: Broadcast, MaxRounds: 10}
+	_, err := RunProcs(cfg, func(p *Proc) error {
+		for {
+			p.Next() // never terminates
+		}
+	})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Errorf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []interface{} {
+		cfg := Config{N: 6, Bandwidth: 16, Model: Broadcast, Seed: 99}
+		res, err := RunProcs(cfg, func(p *Proc) error {
+			v := p.Rand().Intn(1 << 10)
+			msg := bits.New(10)
+			msg.WriteUint(uint64(v), 10)
+			if err := p.Broadcast(msg); err != nil {
+				return err
+			}
+			in := p.Next()
+			sum := uint64(v)
+			for _, m := range in {
+				if m != nil {
+					x, _ := bits.NewReader(m).ReadUint(10)
+					sum += x
+				}
+			}
+			p.SetOutput(sum)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d output differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// All nodes agree on the sum.
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			t.Fatalf("nodes disagree on sum: %v", a)
+		}
+	}
+}
+
+func TestExchangeBroadcasts(t *testing.T) {
+	const n = 5
+	// Node i's payload is i+1 copies of its 4-bit ID -> lengths differ.
+	payloadOf := func(id int) *bits.Buffer {
+		b := bits.New(0)
+		for k := 0; k <= id; k++ {
+			b.WriteUint(uint64(id), 4)
+		}
+		return b
+	}
+	rounds := ChunkRounds(4*n, 3) // max payload 20 bits, b=3 -> 7 rounds
+	cfg := Config{N: n, Bandwidth: 3, Model: Broadcast}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		got, err := ExchangeBroadcasts(p, payloadOf(p.ID()), rounds)
+		if err != nil {
+			return err
+		}
+		ok := true
+		for src, buf := range got {
+			if !buf.Equal(payloadOf(src)) {
+				ok = false
+			}
+		}
+		p.SetOutput(ok)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if out != true {
+			t.Errorf("node %d failed to reassemble payloads", i)
+		}
+	}
+	if res.Stats.Rounds != rounds {
+		t.Errorf("rounds = %d, want %d", res.Stats.Rounds, rounds)
+	}
+	if res.Stats.MaxLinkBits > 3 {
+		t.Errorf("MaxLinkBits = %d exceeds bandwidth", res.Stats.MaxLinkBits)
+	}
+}
+
+func TestSendRecvChunked(t *testing.T) {
+	payload := bits.New(0)
+	for i := 0; i < 10; i++ {
+		payload.WriteUint(uint64(i*13%17), 5)
+	}
+	rounds := ChunkRounds(payload.Len(), 4)
+	cfg := Config{N: 2, Bandwidth: 4, Model: Unicast}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() == 0 {
+			return SendChunked(p, 1, payload, rounds)
+		}
+		got, err := RecvChunked(p, 0, rounds)
+		if err != nil {
+			return err
+		}
+		p.SetOutput(got.Equal(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != true {
+		t.Error("chunked payload corrupted in transit")
+	}
+}
+
+func TestAdjacencyRowCodec(t *testing.T) {
+	g := graph.Cycle(70) // spans two words
+	views := graph.Distribute(g)
+	for _, lv := range views {
+		buf := EncodeAdjacencyRow(lv.Row(), g.N())
+		row, err := DecodeAdjacencyRow(buf, g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range lv.Row() {
+			if row[i] != w {
+				t.Fatalf("row mismatch for node %d", lv.Me())
+			}
+		}
+	}
+}
+
+func TestNodeFuncCallbackAPI(t *testing.T) {
+	// A 2-node ping-pong written against the low-level callback API.
+	cfg := Config{N: 2, Bandwidth: 8, Model: Unicast}
+	mk := func(id int) Node {
+		return NodeFunc(func(ctx *Ctx, in []*bits.Buffer) (bool, error) {
+			switch ctx.Round() {
+			case 0:
+				if id == 0 {
+					return false, ctx.Send(1, idMsg(7, 256))
+				}
+				return false, nil
+			case 1:
+				if id == 1 {
+					if in[0] == nil {
+						t.Error("node 1 missed the ping")
+					}
+					ctx.SetOutput("pong")
+				}
+				return true, nil
+			}
+			return true, nil
+		})
+	}
+	res, err := Run(cfg, []Node{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != "pong" {
+		t.Errorf("output = %v", res.Outputs[1])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, Bandwidth: 1, Model: Unicast},
+		{N: 2, Bandwidth: 0, Model: Unicast},
+		{N: 2, Bandwidth: 1, Model: Congest},
+		{N: 2, Bandwidth: 1, Model: Model(42)},
+		{N: 2, Bandwidth: 1, Model: Unicast, CutSide: []bool{true}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunProcs(cfg, func(p *Proc) error { return nil }); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestBroadcastSugarInUnicast(t *testing.T) {
+	cfg := Config{N: 4, Bandwidth: 8, Model: Unicast}
+	res, err := RunProcs(cfg, func(p *Proc) error {
+		if p.ID() == 0 {
+			if err := p.Broadcast(idMsg(0, 4)); err != nil {
+				return err
+			}
+		}
+		in := p.Next()
+		p.SetOutput(p.ID() == 0 || in[0] != nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if out != true {
+			t.Errorf("node %d missed unicast-broadcast", i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package counting reproduces the paper's non-explicit lower bound
+// (Section 1): by counting, there exists a function f: {0,1}^{n²} → {0,1}
+// that needs (n - O(log n))/b rounds in CLIQUE-UCAST(n,b), which is nearly
+// optimal since n/b rounds always suffice for one node to learn everything.
+//
+// The count: a deterministic R-round protocol is determined by, for every
+// node and round, a function from the node's view (its n input bits plus
+// everything received so far) to its (n-1)·b outgoing bits, plus an output
+// function. A view after r rounds has n + r·(n-1)·b bits, so
+//
+//	log2 #protocols ≤ n · ( Σ_{r<R} (n-1)·b·2^{n+r(n-1)b} + 2^{n+R(n-1)b} )
+//
+// while log2 #functions = 2^{n²}. The largest R for which the protocol
+// count falls short certifies a function that no R-round protocol
+// computes. All arithmetic is done on exponents (log2 of the log2-scale
+// quantities fits comfortably in float64 for the n of interest).
+package counting
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogLogProtocolCount returns an upper bound on log2(log2(#protocols))
+// for deterministic R-round CLIQUE-UCAST(n,b) protocols with n input bits
+// per player (including each player's output function). Working two log
+// levels down keeps every quantity in float64: log2 #protocols itself is
+// about 2^{n + R(n-1)b}.
+func LogLogProtocolCount(n, b, rounds int) float64 {
+	if n < 2 || b < 1 || rounds < 0 {
+		return 0
+	}
+	nb := float64(n-1) * float64(b)
+	// log2 #protocols = n · Σ terms; term for round r is
+	// (n-1)b · 2^{n + r(n-1)b} (choices of the round-r message function),
+	// so its log2 is log2((n-1)b) + n + r(n-1)b.
+	logs := make([]float64, 0, rounds+1)
+	for r := 0; r < rounds; r++ {
+		logs = append(logs, math.Log2(nb)+float64(n)+float64(r)*nb)
+	}
+	// Output function: 2^{view after R rounds} choices per node.
+	logs = append(logs, float64(n)+float64(rounds)*nb)
+	return math.Log2(float64(n)) + logSumExp2(logs)
+}
+
+// LogLogFunctionCount returns log2(log2(#functions)) for Boolean
+// functions on n² input bits: log2(2^{2^{n²}}) = 2^{n²}, one more log
+// gives n².
+func LogLogFunctionCount(n int) float64 {
+	return float64(n) * float64(n)
+}
+
+// MaxUncomputableRounds returns the largest R such that the number of
+// R-round protocols is provably smaller than the number of functions —
+// i.e. some explicit-input function requires more than R rounds. This is
+// the paper's (n - O(log n))/b bound, computed exactly.
+func MaxUncomputableRounds(n, b int) (int, error) {
+	if n < 2 || b < 1 {
+		return 0, fmt.Errorf("counting: bad parameters n=%d b=%d", n, b)
+	}
+	// #protocols < #functions iff their double logs compare the same way
+	// (both sides exceed 2 in the regime of interest).
+	target := LogLogFunctionCount(n)
+	r := 0
+	for {
+		if LogLogProtocolCount(n, b, r+1) >= target {
+			return r, nil
+		}
+		r++
+		if r > n*n*b {
+			return 0, fmt.Errorf("counting: runaway search at n=%d b=%d", n, b)
+		}
+	}
+}
+
+// PaperBound returns the headline (n - c·log n)/b shape with c = 2 for
+// comparison against the exact computation.
+func PaperBound(n, b int) float64 {
+	return (float64(n) - 2*math.Log2(float64(n))) / float64(b)
+}
+
+// TrivialUpperBound returns ceil(n/b): the rounds for one node to learn
+// all n² input bits over its n-1 incoming links (each other node streams
+// its n input bits over one link), after which it computes any f locally.
+func TrivialUpperBound(n, b int) int {
+	return (n + b - 1) / b
+}
+
+// logSumExp2 computes log2(Σ 2^{x_i}) stably.
+func logSumExp2(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp2(x - max)
+	}
+	return max + math.Log2(sum)
+}

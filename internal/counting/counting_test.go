@@ -1,0 +1,96 @@
+package counting
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxUncomputableRoundsShape(t *testing.T) {
+	// The bound must sit between the paper's (n - O(log n))/b shape and
+	// the trivial n/b upper bound.
+	for _, tc := range []struct{ n, b int }{
+		{8, 1}, {16, 1}, {32, 1}, {64, 1},
+		{16, 2}, {32, 2}, {64, 4}, {128, 1},
+	} {
+		r, err := MaxUncomputableRounds(tc.n, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper := TrivialUpperBound(tc.n, tc.b)
+		if r >= upper+2 {
+			t.Errorf("n=%d b=%d: lower bound %d exceeds trivial upper bound %d",
+				tc.n, tc.b, r, upper)
+		}
+		lower := PaperBound(tc.n, tc.b)
+		if float64(r) < lower-2 {
+			t.Errorf("n=%d b=%d: exact bound %d below the (n-2log n)/b shape %f",
+				tc.n, tc.b, r, lower)
+		}
+	}
+}
+
+func TestBoundScalesInverselyWithBandwidth(t *testing.T) {
+	r1, err := MaxUncomputableRounds(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MaxUncomputableRounds(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := MaxUncomputableRounds(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r1)-2*float64(r2)) > 3 || math.Abs(float64(r2)-2*float64(r4)) > 3 {
+		t.Errorf("bounds not halving with b: b=1:%d b=2:%d b=4:%d", r1, r2, r4)
+	}
+}
+
+func TestBoundScalesLinearlyWithN(t *testing.T) {
+	r32, _ := MaxUncomputableRounds(32, 1)
+	r64, _ := MaxUncomputableRounds(64, 1)
+	r128, _ := MaxUncomputableRounds(128, 1)
+	// Ratios should approach 2 (up to the O(log n) slack).
+	if float64(r64)/float64(r32) < 1.7 || float64(r128)/float64(r64) < 1.8 {
+		t.Errorf("bounds not scaling linearly: %d %d %d", r32, r64, r128)
+	}
+}
+
+func TestLogProtocolCountMonotonic(t *testing.T) {
+	prev := 0.0
+	for r := 0; r < 10; r++ {
+		cur := LogLogProtocolCount(16, 2, r)
+		if cur < prev {
+			t.Fatalf("protocol count decreased at R=%d", r)
+		}
+		prev = cur
+	}
+}
+
+func TestNearOptimality(t *testing.T) {
+	// The non-explicit bound is within O(log n) of the trivial upper
+	// bound at b=1: the gap must shrink relative to n.
+	for _, n := range []int{32, 64, 128} {
+		r, err := MaxUncomputableRounds(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := TrivialUpperBound(n, 1) - r
+		if gap < 0 {
+			t.Fatalf("n=%d: counting bound above the trivial algorithm", n)
+		}
+		if float64(gap) > 4*math.Log2(float64(n)) {
+			t.Errorf("n=%d: gap %d larger than O(log n)", n, gap)
+		}
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	if _, err := MaxUncomputableRounds(1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := MaxUncomputableRounds(8, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+}

@@ -1,0 +1,308 @@
+// Package f2 provides dense linear algebra over GF(2) with word-packed
+// rows: matrix addition, schoolbook multiplication via row XOR, and
+// Strassen multiplication. It is the arithmetic substrate for Section 2.1
+// of the paper (triangle detection through fast matrix multiplication over
+// F_2) and the reference implementation the circuit generators in
+// internal/matmul are tested against.
+package f2
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Matrix is a square boolean matrix over GF(2). Entries are packed 64 per
+// word, row-major.
+type Matrix struct {
+	n     int
+	words int
+	rows  [][]uint64
+}
+
+// New returns the n×n zero matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic(fmt.Sprintf("f2: negative dimension %d", n))
+	}
+	words := (n + 63) / 64
+	rows := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for i := range rows {
+		rows[i] = backing[i*words : (i+1)*words : (i+1)*words]
+	}
+	return &Matrix{n: n, words: words, rows: rows}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Random returns a uniformly random n×n matrix.
+func Random(n int, rng *rand.Rand) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for w := 0; w < m.words; w++ {
+			m.rows[i][w] = rng.Uint64()
+		}
+		m.maskRow(i)
+	}
+	return m
+}
+
+// N reports the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// Get reads entry (i,j).
+func (m *Matrix) Get(i, j int) bool {
+	m.check(i, j)
+	return m.rows[i][j/64]&(1<<uint(j%64)) != 0
+}
+
+// Set writes entry (i,j).
+func (m *Matrix) Set(i, j int, v bool) {
+	m.check(i, j)
+	if v {
+		m.rows[i][j/64] |= 1 << uint(j%64)
+	} else {
+		m.rows[i][j/64] &^= 1 << uint(j%64)
+	}
+}
+
+// Row returns row i's packed words; the caller must not modify them.
+func (m *Matrix) Row(i int) []uint64 { return m.rows[i] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.n)
+	for i := range m.rows {
+		copy(out.rows[i], m.rows[i])
+	}
+	return out
+}
+
+// Equal reports entry-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.rows {
+		for w := range m.rows[i] {
+			if m.rows[i][w] != o.rows[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Add returns m + o over GF(2) (entry-wise XOR).
+func Add(m, o *Matrix) *Matrix {
+	mustMatch(m, o)
+	out := New(m.n)
+	for i := range m.rows {
+		for w := range m.rows[i] {
+			out.rows[i][w] = m.rows[i][w] ^ o.rows[i][w]
+		}
+	}
+	return out
+}
+
+// Mul returns the schoolbook product m·o over GF(2): row i of the result
+// is the XOR of the rows of o selected by row i of m — O(n²·n/64) words.
+func Mul(m, o *Matrix) *Matrix {
+	mustMatch(m, o)
+	out := New(m.n)
+	for i := 0; i < m.n; i++ {
+		dst := out.rows[i]
+		row := m.rows[i]
+		for w, word := range row {
+			for word != 0 {
+				k := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				src := o.rows[k]
+				for t := range dst {
+					dst[t] ^= src[t]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulStrassen returns m·o using Strassen's recursion with the given base
+// cutoff (schoolbook below it). Dimensions are padded internally to a
+// power of two.
+func MulStrassen(m, o *Matrix, cutoff int) *Matrix {
+	mustMatch(m, o)
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	size := 1
+	for size < m.n {
+		size *= 2
+	}
+	a := m.padTo(size)
+	b := o.padTo(size)
+	c := strassen(a, b, cutoff)
+	return c.cropTo(m.n)
+}
+
+func strassen(a, b *Matrix, cutoff int) *Matrix {
+	n := a.n
+	if n <= cutoff {
+		return Mul(a, b)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := a.quad(0, 0, h), a.quad(0, 1, h), a.quad(1, 0, h), a.quad(1, 1, h)
+	b11, b12, b21, b22 := b.quad(0, 0, h), b.quad(0, 1, h), b.quad(1, 0, h), b.quad(1, 1, h)
+
+	// Over GF(2) subtraction is addition.
+	m1 := strassen(Add(a11, a22), Add(b11, b22), cutoff)
+	m2 := strassen(Add(a21, a22), b11, cutoff)
+	m3 := strassen(a11, Add(b12, b22), cutoff)
+	m4 := strassen(a22, Add(b21, b11), cutoff)
+	m5 := strassen(Add(a11, a12), b22, cutoff)
+	m6 := strassen(Add(a21, a11), Add(b11, b12), cutoff)
+	m7 := strassen(Add(a12, a22), Add(b21, b22), cutoff)
+
+	c11 := Add(Add(m1, m4), Add(m5, m7))
+	c12 := Add(m3, m5)
+	c21 := Add(m2, m4)
+	c22 := Add(Add(m1, m2), Add(m3, m6))
+
+	out := New(n)
+	out.setQuad(0, 0, c11)
+	out.setQuad(0, 1, c12)
+	out.setQuad(1, 0, c21)
+	out.setQuad(1, 1, c22)
+	return out
+}
+
+// BoolMul returns the Boolean (OR-AND semiring) product: out[i][j] = 1 iff
+// some k has m[i][k] = o[k][j] = 1. Used as the exact reference for the
+// Shamir randomized reduction.
+func BoolMul(m, o *Matrix) *Matrix {
+	mustMatch(m, o)
+	out := New(m.n)
+	for i := 0; i < m.n; i++ {
+		dst := out.rows[i]
+		row := m.rows[i]
+		for w, word := range row {
+			for word != 0 {
+				k := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				src := o.rows[k]
+				for t := range dst {
+					dst[t] |= src[t]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScaleRows returns D·m where D is the 0/1 diagonal given by keep: row i
+// of the result is row i of m if keep[i], else zero.
+func ScaleRows(m *Matrix, keep []bool) *Matrix {
+	if len(keep) != m.n {
+		panic("f2: diagonal length mismatch")
+	}
+	out := New(m.n)
+	for i := range m.rows {
+		if keep[i] {
+			copy(out.rows[i], m.rows[i])
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.n)
+	for i := 0; i < m.n; i++ {
+		for _, j := range m.rowIndices(i) {
+			out.Set(j, i, true)
+		}
+	}
+	return out
+}
+
+func (m *Matrix) rowIndices(i int) []int {
+	var out []int
+	for w, word := range m.rows[i] {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+func (m *Matrix) padTo(size int) *Matrix {
+	if size == m.n {
+		return m.Clone()
+	}
+	out := New(size)
+	for i := 0; i < m.n; i++ {
+		copy(out.rows[i], m.rows[i])
+	}
+	return out
+}
+
+func (m *Matrix) cropTo(size int) *Matrix {
+	if size == m.n {
+		return m
+	}
+	out := New(size)
+	for i := 0; i < size; i++ {
+		copy(out.rows[i], m.rows[i][:out.words])
+		out.maskRow(i)
+	}
+	return out
+}
+
+// quad extracts quadrant (r,c) of side h.
+func (m *Matrix) quad(r, c, h int) *Matrix {
+	out := New(h)
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			if m.Get(r*h+i, c*h+j) {
+				out.Set(i, j, true)
+			}
+		}
+	}
+	return out
+}
+
+func (m *Matrix) setQuad(r, c int, q *Matrix) {
+	h := q.n
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			m.Set(r*h+i, c*h+j, q.Get(i, j))
+		}
+	}
+}
+
+func (m *Matrix) maskRow(i int) {
+	if m.n%64 != 0 && m.words > 0 {
+		m.rows[i][m.words-1] &= (1 << uint(m.n%64)) - 1
+	}
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("f2: index (%d,%d) out of range for n=%d", i, j, m.n))
+	}
+}
+
+func mustMatch(m, o *Matrix) {
+	if m.n != o.n {
+		panic(fmt.Sprintf("f2: dimension mismatch %d vs %d", m.n, o.n))
+	}
+}

@@ -1,0 +1,172 @@
+package f2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the O(n³) bit-by-bit reference.
+func naiveMul(a, b *Matrix) *Matrix {
+	n := a.N()
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := false
+			for k := 0; k < n; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					v = !v
+				}
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+func naiveBoolMul(a, b *Matrix) *Matrix {
+	n := a.N()
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					out.Set(i, j, true)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestGetSet(t *testing.T) {
+	m := New(70)
+	m.Set(0, 69, true)
+	m.Set(69, 0, true)
+	m.Set(35, 35, true)
+	if !m.Get(0, 69) || !m.Get(69, 0) || !m.Get(35, 35) {
+		t.Error("set bits not readable")
+	}
+	m.Set(35, 35, false)
+	if m.Get(35, 35) {
+		t.Error("cleared bit still set")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 64, 65, 100} {
+		a := Random(n, rng)
+		if !Mul(a, Identity(n)).Equal(a) || !Mul(Identity(n), a).Equal(a) {
+			t.Errorf("n=%d: identity product differs", n)
+		}
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 17, 64, 65, 90} {
+		a, b := Random(n, rng), Random(n, rng)
+		if !Mul(a, b).Equal(naiveMul(a, b)) {
+			t.Errorf("n=%d: Mul differs from naive", n)
+		}
+	}
+}
+
+func TestStrassenMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 3, 8, 16, 33, 64, 100} {
+		for _, cutoff := range []int{1, 4, 16} {
+			a, b := Random(n, rng), Random(n, rng)
+			if !MulStrassen(a, b, cutoff).Equal(Mul(a, b)) {
+				t.Errorf("n=%d cutoff=%d: Strassen differs", n, cutoff)
+			}
+		}
+	}
+}
+
+func TestStrassenQuickProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64, nSeed uint8) bool {
+		n := 1 + int(nSeed%40)
+		r := rand.New(rand.NewSource(seed))
+		a, b := Random(n, r), Random(n, r)
+		_ = rng
+		return MulStrassen(a, b, 4).Equal(naiveMul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 4, 9, 33, 70} {
+		a, b := Random(n, rng), Random(n, rng)
+		if !BoolMul(a, b).Equal(naiveBoolMul(a, b)) {
+			t.Errorf("n=%d: BoolMul differs from naive", n)
+		}
+	}
+}
+
+func TestAddSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Random(40, rng)
+	if !Add(a, a).Equal(New(40)) {
+		t.Error("a + a != 0")
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, c := Random(30, rng), Random(30, rng), Random(30, rng)
+	left := Mul(a, Add(b, c))
+	right := Add(Mul(a, b), Mul(a, c))
+	if !left.Equal(right) {
+		t.Error("a(b+c) != ab+ac over GF(2)")
+	}
+}
+
+func TestScaleRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := Random(20, rng)
+	keep := make([]bool, 20)
+	for i := range keep {
+		keep[i] = rng.Intn(2) == 0
+	}
+	d := ScaleRows(a, keep)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			want := a.Get(i, j) && keep[i]
+			if d.Get(i, j) != want {
+				t.Fatalf("ScaleRows(%d,%d) = %v, want %v", i, j, d.Get(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := Random(65, rng)
+	tr := a.Transpose()
+	for i := 0; i < 65; i++ {
+		for j := 0; j < 65; j++ {
+			if a.Get(i, j) != tr.Get(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+	if !tr.Transpose().Equal(a) {
+		t.Error("double transpose differs")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(5)
+	b := a.Clone()
+	a.Set(1, 1, true)
+	if b.Get(1, 1) {
+		t.Error("clone aliased")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// Degeneracy returns the degeneracy of g: the smallest k such that every
+// subgraph of g has a vertex of degree at most k. It runs the standard
+// linear-time bucket peeling (Matula–Beck).
+func (g *Graph) Degeneracy() int {
+	k, _ := g.DegeneracyOrder()
+	return k
+}
+
+// DegeneracyOrder returns the degeneracy k and an elimination order
+// v_1..v_n such that for every r, the degree of v_r within the subgraph
+// induced by {v_r, ..., v_n} is at most k. This is exactly the ordering used
+// in the proof of Lemma 8 in the paper.
+func (g *Graph) DegeneracyOrder() (int, []int) {
+	n := g.n
+	deg := make([]int, n)
+	copy(deg, g.deg)
+
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket queue keyed by current degree.
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order := make([]int, 0, n)
+	k := 0
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break // unreachable; defensive
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > k {
+			k = cur
+		}
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		}
+	}
+	return k, order
+}

@@ -1,0 +1,74 @@
+package graph
+
+import "math/bits"
+
+// LocalView is the input of one player in the subgraph-detection problems:
+// player v knows exactly the edges adjacent to vertex v of the input graph
+// (the paper's input partition). Protocol code receives a LocalView rather
+// than the whole graph so that locality is enforced by construction.
+type LocalView struct {
+	n   int
+	me  int
+	row []uint64
+}
+
+// Distribute splits g into n local views, one per player.
+func Distribute(g *Graph) []*LocalView {
+	views := make([]*LocalView, g.N())
+	for v := 0; v < g.N(); v++ {
+		row := make([]uint64, len(g.AdjRow(v)))
+		copy(row, g.AdjRow(v))
+		views[v] = &LocalView{n: g.N(), me: v, row: row}
+	}
+	return views
+}
+
+// N reports the number of vertices in the underlying graph.
+func (lv *LocalView) N() int { return lv.n }
+
+// Me reports which vertex this view belongs to.
+func (lv *LocalView) Me() int { return lv.me }
+
+// HasEdge reports whether {Me, other} is an edge.
+func (lv *LocalView) HasEdge(other int) bool {
+	if other < 0 || other >= lv.n || other == lv.me {
+		return false
+	}
+	return lv.row[other/64]&(1<<uint(other%64)) != 0
+}
+
+// Degree reports the degree of Me.
+func (lv *LocalView) Degree() int {
+	d := 0
+	for _, w := range lv.row {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbor list of Me.
+func (lv *LocalView) Neighbors() []int {
+	out := make([]int, 0, lv.Degree())
+	for w, word := range lv.row {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Row returns the adjacency bitset. The caller must not modify it.
+func (lv *LocalView) Row() []uint64 { return lv.row }
+
+// Collect reassembles a graph from local views, verifying symmetry. It is
+// the inverse of Distribute and is used by tests.
+func Collect(views []*LocalView) *Graph {
+	g := New(len(views))
+	for _, lv := range views {
+		for _, u := range lv.Neighbors() {
+			g.AddEdge(lv.Me(), u)
+		}
+	}
+	return g
+}

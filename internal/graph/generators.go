@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs >= 3 vertices, got %d", n))
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Path returns the path P_n on n vertices (n-1 edges).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: left part {0..a-1}, right {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Gnp returns an Erdős–Rényi random graph G(n,p).
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Gnm returns a uniformly random graph with n vertices and exactly m edges
+// (m must not exceed n(n-1)/2).
+func Gnm(n, m int, rng *rand.Rand) *Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("graph: Gnm(%d,%d) exceeds max %d edges", n, m, max))
+	}
+	g := New(n)
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices via a
+// random Prüfer-like attachment (each vertex v >= 1 attaches to a uniform
+// earlier vertex), which suffices for test workloads.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	return g
+}
+
+// RandomBipartite returns a random bipartite graph with parts of size a and
+// b where each cross pair is an edge independently with probability p.
+func RandomBipartite(a, b int, p float64, rng *rand.Rand) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// DisjointUnion returns the disjoint union of g and h; vertices of h are
+// shifted up by g.N().
+func DisjointUnion(g, h *Graph) *Graph {
+	out := New(g.N() + h.N())
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	for _, e := range h.Edges() {
+		out.AddEdge(e[0]+g.N(), e[1]+g.N())
+	}
+	return out
+}
+
+// PlantCopy embeds pattern h into g on a random injective vertex set and
+// returns the vertices used (position i hosts pattern vertex i). It panics
+// if h has more vertices than g.
+func PlantCopy(g, h *Graph, rng *rand.Rand) []int {
+	if h.N() > g.N() {
+		panic("graph: pattern larger than host")
+	}
+	perm := rng.Perm(g.N())[:h.N()]
+	for _, e := range h.Edges() {
+		g.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return perm
+}
+
+// PlantTriangles adds t vertex-random triangles to g and returns the actual
+// triangle count of the resulting graph (planting may create extras).
+func PlantTriangles(g *Graph, t int, rng *rand.Rand) int {
+	tri := Complete(3)
+	for i := 0; i < t; i++ {
+		PlantCopy(g, tri, rng)
+	}
+	return g.CountTriangles()
+}

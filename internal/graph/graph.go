@@ -1,0 +1,258 @@
+// Package graph provides the undirected-graph substrate for the congested
+// clique reproduction: a bitset-backed graph type, generators, degeneracy
+// computation, subgraph-isomorphism enumeration, and helpers for splitting a
+// graph into the per-player inputs of the clique model (player i owns the
+// edges adjacent to vertex i, as in the paper's subgraph-detection setup).
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1 with bitset
+// adjacency rows. The zero value is an empty graph on zero vertices; use New
+// to create a graph with vertices.
+type Graph struct {
+	n     int
+	words int
+	adj   [][]uint64 // adj[v] is a bitset over vertices
+	deg   []int
+	m     int // number of edges
+}
+
+// New returns an edgeless graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	words := (n + 63) / 64
+	adj := make([][]uint64, n)
+	rows := make([]uint64, n*words)
+	for v := 0; v < n; v++ {
+		adj[v] = rows[v*words : (v+1)*words : (v+1)*words]
+	}
+	return &Graph{n: n, words: words, adj: adj, deg: make([]int, n)}
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M reports the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate edges
+// are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.check(u)
+	g.check(v)
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u][v/64] |= 1 << uint(v%64)
+	g.adj[v][u/64] |= 1 << uint(u%64)
+	g.deg[u]++
+	g.deg[v]++
+	g.m++
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u == v || !g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u][v/64] &^= 1 << uint(v%64)
+	g.adj[v][u/64] &^= 1 << uint(u%64)
+	g.deg[u]--
+	g.deg[v]--
+	g.m--
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	return g.adj[u][v/64]&(1<<uint(v%64)) != 0
+}
+
+// Degree reports the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return g.deg[v]
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, g.deg[v])
+	for w, word := range g.adj[v] {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// AdjRow returns the adjacency bitset of v. The caller must not modify it.
+func (g *Graph) AdjRow(v int) []uint64 {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Edges returns all edges {u,v} with u < v in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for v := 0; v < g.n; v++ {
+		copy(out.adj[v], g.adj[v])
+	}
+	copy(out.deg, g.deg)
+	out.m = g.m
+	return out
+}
+
+// Equal reports whether g and h have identical vertex counts and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		for w := range g.adj[v] {
+			if g.adj[v][w] != h.adj[v][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InducedSubgraph returns the subgraph induced by keep (which need not be
+// sorted) along with the mapping from new vertex index to original vertex.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	vs := append([]int(nil), keep...)
+	sort.Ints(vs)
+	idx := make(map[int]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	out := New(len(vs))
+	for i, v := range vs {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := idx[w]; ok && i < j {
+				out.AddEdge(i, j)
+			}
+		}
+	}
+	return out, vs
+}
+
+// CommonNeighborCount reports |N(u) ∩ N(v)| using word-parallel AND.
+func (g *Graph) CommonNeighborCount(u, v int) int {
+	g.check(u)
+	g.check(v)
+	total := 0
+	for w := range g.adj[u] {
+		total += bits.OnesCount64(g.adj[u][w] & g.adj[v][w])
+	}
+	return total
+}
+
+// CountTriangles returns the number of triangles in g, computed with
+// word-parallel neighborhood intersections.
+func (g *Graph) CountTriangles() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			// Count common neighbors w > v to count each triangle once.
+			for w, word := range g.adj[u] {
+				x := word & g.adj[v][w]
+				for x != 0 {
+					t := w*64 + bits.TrailingZeros64(x)
+					if t > v {
+						total++
+					}
+					x &= x - 1
+				}
+			}
+		}
+	}
+	return total
+}
+
+// HasTriangle reports whether g contains any triangle.
+func (g *Graph) HasTriangle() bool {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			for w := range g.adj[u] {
+				if g.adj[u][w]&g.adj[v][w] != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CutSize reports the number of edges with exactly one endpoint in side
+// (given as a membership slice of length n).
+func (g *Graph) CutSize(side []bool) int {
+	if len(side) != g.n {
+		panic("graph: side length mismatch")
+	}
+	cut := 0
+	for _, e := range g.Edges() {
+		if side[e[0]] != side[e[1]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an edgeless graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, d := range g.deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders a short description of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.n, g.m)
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}

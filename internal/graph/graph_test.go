@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveHasEdge(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(3, 0) {
+		t.Error("edge {0,3} missing or asymmetric")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop present")
+	}
+	g.RemoveEdge(0, 3)
+	if g.M() != 0 || g.HasEdge(0, 3) {
+		t.Error("RemoveEdge did not remove")
+	}
+	g.RemoveEdge(0, 3) // idempotent
+	if g.M() != 0 {
+		t.Error("double remove changed edge count")
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := Star(6)
+	if g.Degree(0) != 5 {
+		t.Errorf("center degree = %d, want 5", g.Degree(0))
+	}
+	for v := 1; v < 6; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 5 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	for i, v := range nb {
+		if v != i+1 {
+			t.Errorf("neighbors not sorted: %v", nb)
+		}
+	}
+}
+
+func TestEdgesComplete(t *testing.T) {
+	g := Complete(7)
+	if g.M() != 21 {
+		t.Fatalf("K7 edges = %d, want 21", g.M())
+	}
+	if len(g.Edges()) != 21 {
+		t.Fatalf("Edges() length mismatch")
+	}
+	if g.MaxDegree() != 6 {
+		t.Errorf("max degree = %d, want 6", g.MaxDegree())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, vs := g.InducedSubgraph([]int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("induced N = %d", sub.N())
+	}
+	// Edges among {0,1,2,4} in C6: {0,1},{1,2}.
+	if sub.M() != 2 {
+		t.Errorf("induced M = %d, want 2", sub.M())
+	}
+	if vs[0] != 0 || vs[3] != 4 {
+		t.Errorf("vertex map = %v", vs)
+	}
+}
+
+func TestCountTriangles(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Complete(3), 1},
+		{Complete(4), 4},
+		{Complete(5), 10},
+		{Cycle(5), 0},
+		{CompleteBipartite(3, 4), 0},
+		{Star(9), 0},
+	}
+	for _, c := range cases {
+		if got := c.g.CountTriangles(); got != c.want {
+			t.Errorf("%v triangles = %d, want %d", c.g, got, c.want)
+		}
+		if c.g.HasTriangle() != (c.want > 0) {
+			t.Errorf("%v HasTriangle inconsistent", c.g)
+		}
+	}
+}
+
+func TestCommonNeighborCount(t *testing.T) {
+	g := CompleteBipartite(2, 3)
+	if got := g.CommonNeighborCount(0, 1); got != 3 {
+		t.Errorf("common neighbors of two left vertices = %d, want 3", got)
+	}
+	if got := g.CommonNeighborCount(2, 3); got != 2 {
+		t.Errorf("common neighbors of two right vertices = %d, want 2", got)
+	}
+}
+
+func TestCutSize(t *testing.T) {
+	g := CompleteBipartite(3, 3)
+	side := []bool{true, true, true, false, false, false}
+	if got := g.CutSize(side); got != 9 {
+		t.Errorf("cut = %d, want 9", got)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Gnp(40, 0.3, rng)
+	h := g.Clone()
+	if !g.Equal(h) {
+		t.Fatal("clone not equal")
+	}
+	h.AddEdge(0, 1)
+	h.RemoveEdge(0, 1)
+	// After add+remove h may differ from g only if {0,1} was originally present.
+	if g.HasEdge(0, 1) != h.HasEdge(0, 1) && g.Equal(h) {
+		t.Fatal("Equal missed a difference")
+	}
+}
+
+func TestDegeneracyKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K5", Complete(5), 4},
+		{"C7", Cycle(7), 2},
+		{"tree", Path(9), 1},
+		{"star", Star(10), 1},
+		{"K33", CompleteBipartite(3, 3), 3},
+		{"empty", New(4), 0},
+	}
+	for _, c := range cases {
+		if got := c.g.Degeneracy(); got != c.want {
+			t.Errorf("%s degeneracy = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderProperty(t *testing.T) {
+	// The defining property: v_r has degree <= k in G[{v_r..v_n}].
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := Gnp(30, rng.Float64()*0.5, rng)
+		k, order := g.DegeneracyOrder()
+		if len(order) != g.N() {
+			t.Fatalf("order length %d != %d", len(order), g.N())
+		}
+		pos := make([]int, g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for i, v := range order {
+			d := 0
+			for _, w := range g.Neighbors(v) {
+				if pos[w] > i {
+					d++
+				}
+			}
+			if d > k {
+				t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, d, k)
+			}
+		}
+	}
+}
+
+func TestDegeneracyMatchesBruteForce(t *testing.T) {
+	// Degeneracy = max over the peeling of min degree; cross-check with a
+	// naive recomputation on small random graphs.
+	rng := rand.New(rand.NewSource(3))
+	naive := func(g *Graph) int {
+		alive := make([]bool, g.N())
+		for i := range alive {
+			alive[i] = true
+		}
+		deg := make([]int, g.N())
+		copy(deg, g.deg)
+		k := 0
+		for remaining := g.N(); remaining > 0; remaining-- {
+			best, bd := -1, 1<<30
+			for v := 0; v < g.N(); v++ {
+				if alive[v] && deg[v] < bd {
+					best, bd = v, deg[v]
+				}
+			}
+			if bd > k {
+				k = bd
+			}
+			alive[best] = false
+			for _, w := range g.Neighbors(best) {
+				if alive[w] {
+					deg[w]--
+				}
+			}
+		}
+		return k
+	}
+	for trial := 0; trial < 25; trial++ {
+		g := Gnp(18, rng.Float64(), rng)
+		if got, want := g.Degeneracy(), naive(g); got != want {
+			t.Fatalf("degeneracy = %d, naive = %d for %v", got, want, g)
+		}
+	}
+}
+
+func TestGnmEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := Gnm(20, 57, rng)
+	if g.M() != 57 {
+		t.Errorf("Gnm edges = %d, want 57", g.M())
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomTree(25, rng)
+	if g.M() != 24 {
+		t.Fatalf("tree edges = %d, want 24", g.M())
+	}
+	if g.Degeneracy() != 1 {
+		t.Errorf("tree degeneracy = %d, want 1", g.Degeneracy())
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := DisjointUnion(Complete(3), Cycle(4))
+	if g.N() != 7 || g.M() != 7 {
+		t.Fatalf("union n=%d m=%d, want 7,7", g.N(), g.M())
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("union created cross edge")
+	}
+}
+
+func TestPlantCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := New(20)
+		h := Cycle(5)
+		verts := PlantCopy(g, h, rng)
+		if len(verts) != 5 {
+			t.Fatalf("planted verts = %v", verts)
+		}
+		if !ContainsSubgraph(g, h) {
+			t.Fatal("planted pattern not found")
+		}
+	}
+}
+
+func TestDistributeCollectRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Gnp(17, 0.4, rng)
+		return Collect(Distribute(g)).Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalView(t *testing.T) {
+	g := Cycle(5)
+	views := Distribute(g)
+	lv := views[2]
+	if lv.Me() != 2 || lv.N() != 5 {
+		t.Fatalf("view identity wrong: me=%d n=%d", lv.Me(), lv.N())
+	}
+	if !lv.HasEdge(1) || !lv.HasEdge(3) || lv.HasEdge(0) {
+		t.Error("view adjacency wrong")
+	}
+	if lv.Degree() != 2 {
+		t.Errorf("view degree = %d, want 2", lv.Degree())
+	}
+	if nb := lv.Neighbors(); len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("view neighbors = %v", nb)
+	}
+	if lv.HasEdge(2) || lv.HasEdge(-1) || lv.HasEdge(99) {
+		t.Error("out-of-range HasEdge should be false")
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// relabel returns g with vertices renamed by the permutation.
+func relabel(g *Graph, perm []int) *Graph {
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		out.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return out
+}
+
+func TestContainsSubgraphPermutationInvariant(t *testing.T) {
+	patterns := []*Graph{Complete(3), Cycle(4), Cycle(5), Path(4), CompleteBipartite(2, 2)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Gnp(14, rng.Float64()*0.5, rng)
+		perm := rng.Perm(g.N())
+		h := patterns[int(uint64(seed)%uint64(len(patterns)))]
+		return ContainsSubgraph(g, h) == ContainsSubgraph(relabel(g, perm), h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegeneracyPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Gnp(20, rng.Float64()*0.6, rng)
+		perm := rng.Perm(g.N())
+		return g.Degeneracy() == relabel(g, perm).Degeneracy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleCountPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Gnp(18, 0.3, rng)
+		perm := rng.Perm(g.N())
+		return g.CountTriangles() == relabel(g, perm).CountTriangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyCountMatchesEmbeddingsOverAutomorphisms(t *testing.T) {
+	// #embeddings = #copies × |Aut(H)| for vertex-transitive-ish checks:
+	// triangles have |Aut| = 6, C4 has 8, P3 has 2.
+	cases := []struct {
+		h   *Graph
+		aut int
+	}{
+		{Complete(3), 6},
+		{Cycle(4), 8},
+		{Path(3), 2},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range cases {
+		g := Gnp(12, 0.4, rng)
+		emb := 0
+		ForEachEmbedding(g, c.h, func(Embedding) bool {
+			emb++
+			return true
+		})
+		copies := len(EnumerateCopies(g, c.h))
+		if emb != copies*c.aut {
+			t.Errorf("pattern %v: %d embeddings vs %d copies × %d automorphisms",
+				c.h, emb, copies, c.aut)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Embedding is an injective map from pattern vertices to host vertices:
+// Embedding[i] hosts pattern vertex i.
+type Embedding []int
+
+// ContainsSubgraph reports whether host contains a (not necessarily induced)
+// subgraph isomorphic to pattern.
+func ContainsSubgraph(host, pattern *Graph) bool {
+	_, ok := FindSubgraphIso(host, pattern)
+	return ok
+}
+
+// FindSubgraphIso returns one subgraph embedding of pattern into host, if
+// any exists.
+func FindSubgraphIso(host, pattern *Graph) (Embedding, bool) {
+	var found Embedding
+	ForEachEmbedding(host, pattern, func(emb Embedding) bool {
+		found = append(Embedding(nil), emb...)
+		return false // stop at first
+	})
+	return found, found != nil
+}
+
+// ForEachEmbedding enumerates all injective edge-preserving maps of pattern
+// into host, invoking fn for each. If fn returns false the enumeration
+// stops. The embedding slice passed to fn is reused between calls; copy it
+// if it must be retained.
+func ForEachEmbedding(host, pattern *Graph, fn func(Embedding) bool) {
+	k := pattern.N()
+	if k == 0 {
+		fn(Embedding{})
+		return
+	}
+	if k > host.N() {
+		return
+	}
+	order := patternOrder(pattern)
+	// prevNbrs[i] = neighbors of order[i] among order[0..i-1] (indices into order).
+	pos := make([]int, k)
+	for i, v := range order {
+		pos[v] = i
+	}
+	prevNbrs := make([][]int, k)
+	for i, v := range order {
+		for _, w := range pattern.Neighbors(v) {
+			if pos[w] < i {
+				prevNbrs[i] = append(prevNbrs[i], pos[w])
+			}
+		}
+	}
+
+	used := make([]bool, host.N())
+	assign := make([]int, k) // assign[i] = host vertex for order[i]
+	emb := make(Embedding, k)
+
+	words := (host.N() + 63) / 64
+	cand := make([]uint64, words)
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == k {
+			for j, v := range order {
+				emb[v] = assign[j]
+			}
+			return fn(emb)
+		}
+		pv := order[i]
+		need := pattern.Degree(pv)
+		if len(prevNbrs[i]) > 0 {
+			// Candidates: intersection of host adjacency of mapped prior neighbors.
+			first := host.AdjRow(assign[prevNbrs[i][0]])
+			copy(cand, first)
+			for _, pj := range prevNbrs[i][1:] {
+				row := host.AdjRow(assign[pj])
+				for w := range cand {
+					cand[w] &= row[w]
+				}
+			}
+			// Iterate set bits; cand is clobbered by deeper recursion, so
+			// snapshot it.
+			snap := append([]uint64(nil), cand...)
+			for w, word := range snap {
+				for word != 0 {
+					u := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if used[u] || host.Degree(u) < need {
+						continue
+					}
+					used[u] = true
+					assign[i] = u
+					if !rec(i + 1) {
+						used[u] = false
+						return false
+					}
+					used[u] = false
+				}
+			}
+			return true
+		}
+		// No constraint from prior vertices (first vertex of a component).
+		for u := 0; u < host.N(); u++ {
+			if used[u] || host.Degree(u) < need {
+				continue
+			}
+			used[u] = true
+			assign[i] = u
+			if !rec(i + 1) {
+				used[u] = false
+				return false
+			}
+			used[u] = false
+		}
+		return true
+	}
+	rec(0)
+}
+
+// patternOrder orders pattern vertices so that each vertex (after the first
+// of its component) is adjacent to an earlier one, maximizing early pruning.
+func patternOrder(pattern *Graph) []int {
+	k := pattern.N()
+	order := make([]int, 0, k)
+	inOrder := make([]bool, k)
+	// connectivity[v] = number of ordered neighbors
+	conn := make([]int, k)
+	for len(order) < k {
+		best := -1
+		for v := 0; v < k; v++ {
+			if inOrder[v] {
+				continue
+			}
+			if best == -1 ||
+				conn[v] > conn[best] ||
+				(conn[v] == conn[best] && pattern.Degree(v) > pattern.Degree(best)) {
+				best = v
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+		for _, w := range pattern.Neighbors(best) {
+			conn[w]++
+		}
+	}
+	return order
+}
+
+// Copy is one subgraph of the host isomorphic to the pattern, identified by
+// its vertex set and edge set (host labels).
+type Copy struct {
+	Verts []int
+	Edges [][2]int
+}
+
+// key returns a canonical identifier for the copy (its sorted edge set).
+func (c Copy) key() string {
+	var sb strings.Builder
+	for _, e := range c.Edges {
+		fmt.Fprintf(&sb, "%d-%d;", e[0], e[1])
+	}
+	return sb.String()
+}
+
+// EnumerateCopies returns all distinct subgraphs of host isomorphic to
+// pattern. Two embeddings that induce the same edge set (automorphic images)
+// yield a single copy. Intended for the small host graphs used in the
+// lower-bound constructions; cost grows with the number of embeddings.
+func EnumerateCopies(host, pattern *Graph) []Copy {
+	seen := make(map[string]struct{})
+	var out []Copy
+	ForEachEmbedding(host, pattern, func(emb Embedding) bool {
+		edges := make([][2]int, 0, pattern.M())
+		for _, e := range pattern.Edges() {
+			a, b := emb[e[0]], emb[e[1]]
+			if a > b {
+				a, b = b, a
+			}
+			edges = append(edges, [2]int{a, b})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		verts := append([]int(nil), emb...)
+		sort.Ints(verts)
+		verts = dedupeInts(verts)
+		c := Copy{Verts: verts, Edges: edges}
+		k := c.key()
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+func dedupeInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestContainsSubgraphBasics(t *testing.T) {
+	cases := []struct {
+		name    string
+		host    *Graph
+		pattern *Graph
+		want    bool
+	}{
+		{"K4 in K5", Complete(5), Complete(4), true},
+		{"K5 in K4", Complete(4), Complete(5), false},
+		{"C4 in K4", Complete(4), Cycle(4), true},
+		{"C5 in C5", Cycle(5), Cycle(5), true},
+		{"C4 in C5", Cycle(5), Cycle(4), false},
+		{"C3 in bipartite", CompleteBipartite(4, 4), Complete(3), false},
+		{"C4 in K23", CompleteBipartite(2, 3), Cycle(4), true},
+		{"P3 in star", Star(4), Path(3), true},
+		{"P4 in star", Star(5), Path(4), false},
+		{"K22 in C4", Cycle(4), CompleteBipartite(2, 2), true},
+	}
+	for _, c := range cases {
+		if got := ContainsSubgraph(c.host, c.pattern); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFindSubgraphIsoIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	patterns := []*Graph{Complete(3), Cycle(4), Cycle(5), CompleteBipartite(2, 2), Path(4)}
+	for trial := 0; trial < 30; trial++ {
+		host := Gnp(25, 0.25, rng)
+		p := patterns[trial%len(patterns)]
+		emb, ok := FindSubgraphIso(host, p)
+		if !ok {
+			continue
+		}
+		seen := make(map[int]bool)
+		for _, v := range emb {
+			if seen[v] {
+				t.Fatalf("embedding not injective: %v", emb)
+			}
+			seen[v] = true
+		}
+		for _, e := range p.Edges() {
+			if !host.HasEdge(emb[e[0]], emb[e[1]]) {
+				t.Fatalf("embedding %v does not preserve edge %v", emb, e)
+			}
+		}
+	}
+}
+
+func TestFindPlantedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		host := Gnp(30, 0.05, rng)
+		p := Cycle(6)
+		PlantCopy(host, p, rng)
+		if !ContainsSubgraph(host, p) {
+			t.Fatal("planted C6 not found")
+		}
+	}
+}
+
+func TestEnumerateCopiesCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		host    *Graph
+		pattern *Graph
+		want    int
+	}{
+		{"triangles in K4", Complete(4), Complete(3), 4},
+		{"triangles in K5", Complete(5), Complete(3), 10},
+		{"K4s in K5", Complete(5), Complete(4), 5},
+		{"C4 in K4", Complete(4), Cycle(4), 3},
+		{"edges in K4", Complete(4), Path(2), 6},
+		{"C4 in K23", CompleteBipartite(2, 3), Cycle(4), 3},
+		{"C5 in C5", Cycle(5), Cycle(5), 1},
+		{"none", Cycle(8), Complete(3), 0},
+	}
+	for _, c := range cases {
+		got := EnumerateCopies(c.host, c.pattern)
+		if len(got) != c.want {
+			t.Errorf("%s: %d copies, want %d", c.name, len(got), c.want)
+		}
+	}
+}
+
+func TestEnumerateCopiesMatchesTriangleCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := Gnp(20, 0.3, rng)
+		copies := EnumerateCopies(g, Complete(3))
+		if len(copies) != g.CountTriangles() {
+			t.Fatalf("EnumerateCopies found %d triangles, CountTriangles says %d",
+				len(copies), g.CountTriangles())
+		}
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	calls := 0
+	ForEachEmbedding(Complete(3), New(0), func(e Embedding) bool {
+		calls++
+		return true
+	})
+	if calls != 1 {
+		t.Errorf("empty pattern embeddings = %d, want 1", calls)
+	}
+}
+
+func TestDisconnectedPattern(t *testing.T) {
+	// Two disjoint edges inside C5: choose 2 disjoint edges of the cycle.
+	host := Cycle(5)
+	pattern := DisjointUnion(Path(2), Path(2))
+	copies := EnumerateCopies(host, pattern)
+	if len(copies) != 5 { // C5 has 5 ways to pick two non-adjacent edges
+		t.Errorf("disjoint-edge copies = %d, want 5", len(copies))
+	}
+}

@@ -1,0 +1,264 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/turan"
+)
+
+// CliqueLowerBound builds the Lemma 14 (K_ℓ, K_{N,N})-lower-bound graph:
+// four independent sets S1..S4 of size N with perfect matchings S1–S2 and
+// S3–S4, complete bipartite template edges S1∪S2 × S3∪S4, and ℓ-4
+// universal vertices. Alice's copy of F = K_{N,N} sits on S1×S3, Bob's on
+// S2×S4, so a K_ℓ appears iff some pair (i,j) is present in both inputs.
+func CliqueLowerBound(l, n int) (*Graph, error) {
+	if l < 4 || n < 2 {
+		return nil, fmt.Errorf("%w: K_%d with N=%d", ErrBadDimensions, l, n)
+	}
+	total := 4*n + l - 4
+	g := graph.New(total)
+	s := func(block, j int) int { return block*n + j } // blocks 0..3
+	uStart := 4 * n
+
+	for j := 0; j < n; j++ {
+		g.AddEdge(s(0, j), s(1, j)) // matching S1-S2
+		g.AddEdge(s(2, j), s(3, j)) // matching S3-S4
+	}
+	for _, top := range []int{0, 1} {
+		for _, bot := range []int{2, 3} {
+			for j := 0; j < n; j++ {
+				for jp := 0; jp < n; jp++ {
+					g.AddEdge(s(top, j), s(bot, jp))
+				}
+			}
+		}
+	}
+	for k := 0; k < l-4; k++ {
+		for v := 0; v < total; v++ {
+			if v != uStart+k {
+				g.AddEdge(uStart+k, v)
+			}
+		}
+	}
+
+	f := graph.CompleteBipartite(n, n)
+	phiA := make([]int, 2*n)
+	phiB := make([]int, 2*n)
+	for j := 0; j < n; j++ {
+		phiA[j] = s(0, j)   // left of F -> S1
+		phiA[n+j] = s(2, j) // right of F -> S3
+		phiB[j] = s(1, j)   // left of F -> S2
+		phiB[n+j] = s(3, j) // right of F -> S4
+	}
+	side := make([]bool, total)
+	for j := 0; j < n; j++ {
+		side[s(0, j)] = true // Alice: S1 ∪ S3
+		side[s(2, j)] = true
+	}
+	for k := 0; k < l-4; k++ {
+		side[uStart+k] = k%2 == 0 // universal vertices split evenly
+	}
+	return &Graph{
+		G: g, H: graph.Complete(l), F: f,
+		PhiA: phiA, PhiB: phiB, Side: side,
+	}, nil
+}
+
+// CycleLowerBound builds the Lemma 18 (C_ℓ, F)-lower-bound graph for a
+// C_ℓ-free universe graph F on N vertices: Alice's and Bob's copies of F
+// plus a path of the right length between v_{A,i} and v_{B,i} for every i,
+// so that φ_A(e) + P_i + φ_B(e) + P_j closes a cycle of length exactly ℓ.
+//
+// For odd ℓ, F must be bipartite with left side {0..leftSize-1}; paths on
+// the left get ⌊ℓ/2⌋-2 inner vertices and on the right ⌈ℓ/2⌉-2 (the
+// paper's asymmetric lengths). For even ℓ pass leftSize = 0; every path
+// gets ℓ/2-2 inner vertices.
+func CycleLowerBound(l int, f *graph.Graph, leftSize int) (*Graph, error) {
+	if l < 4 {
+		return nil, fmt.Errorf("%w: C_%d", ErrBadDimensions, l)
+	}
+	if graph.ContainsSubgraph(f, graph.Cycle(l)) {
+		return nil, fmt.Errorf("%w: universe graph F contains C_%d", ErrBadDimensions, l)
+	}
+	n := f.N()
+	inner := func(i int) int {
+		if l%2 == 0 {
+			return l/2 - 2
+		}
+		if i < leftSize {
+			return l/2 - 2 // ⌊ℓ/2⌋ - 2
+		}
+		return (l+1)/2 - 2 // ⌈ℓ/2⌉ - 2
+	}
+	total := 2 * n
+	for i := 0; i < n; i++ {
+		total += inner(i)
+	}
+	g := graph.New(total)
+	vA := func(i int) int { return i }
+	vB := func(i int) int { return n + i }
+	for _, e := range f.Edges() {
+		g.AddEdge(vA(e[0]), vA(e[1]))
+		g.AddEdge(vB(e[0]), vB(e[1]))
+	}
+	side := make([]bool, total)
+	next := 2 * n
+	for i := 0; i < n; i++ {
+		side[vA(i)] = true
+		k := inner(i)
+		prev := vA(i)
+		for j := 0; j < k; j++ {
+			g.AddEdge(prev, next)
+			side[next] = j < (k+1)/2 // first half of the path on Alice's side
+			prev = next
+			next++
+		}
+		g.AddEdge(prev, vB(i))
+	}
+	phiA := make([]int, n)
+	phiB := make([]int, n)
+	for i := 0; i < n; i++ {
+		phiA[i] = vA(i)
+		phiB[i] = vB(i)
+	}
+	return &Graph{
+		G: g, H: graph.Cycle(l), F: f,
+		PhiA: phiA, PhiB: phiB, Side: side,
+	}, nil
+}
+
+// BicliqueLowerBound builds the Lemma 21 (K_{ℓ,m}, F)-lower-bound graph
+// for a bipartite C₄-free universe graph F with sides left/right ⊆ [N]:
+// Alice's and Bob's copies of F, hub sets W_L (ℓ-2) and W_R (m-2) wired
+// per the lemma, and the perfect matching {u_i, v_i}.
+func BicliqueLowerBound(l, m int, f *graph.Graph, left []int) (*Graph, error) {
+	if l < 2 || m < 2 {
+		return nil, fmt.Errorf("%w: K_{%d,%d}", ErrBadDimensions, l, m)
+	}
+	if l != m {
+		// Machine verification exposed a gap in Lemma 21 as printed: for
+		// ℓ < m, a universe vertex x of degree ≥ m-1 together with ℓ-1
+		// hub vertices of W_R forms one side of a stray K_{ℓ,m} whose
+		// other side is {matching partner of x} ∪ N_F(x) — realizable
+		// from one player's edges alone, violating Observation 11
+		// (symmetrically via W_L for ℓ > m). Extremal universes always
+		// have such high-degree vertices, so only ℓ = m is sound; see
+		// DESIGN.md §4.5.
+		return nil, fmt.Errorf("%w: K_{%d,%d} with ℓ≠m admits stray copies (see DESIGN.md)",
+			ErrBadDimensions, l, m)
+	}
+	if graph.ContainsSubgraph(f, graph.Cycle(4)) {
+		return nil, fmt.Errorf("%w: universe graph F contains C₄", ErrBadDimensions)
+	}
+	n := f.N()
+	isLeft := make([]bool, n)
+	for _, v := range left {
+		isLeft[v] = true
+	}
+	for _, e := range f.Edges() {
+		if isLeft[e[0]] == isLeft[e[1]] {
+			return nil, fmt.Errorf("%w: F edge %v not across the bipartition", ErrBadDimensions, e)
+		}
+	}
+	total := 2*n + (l - 2) + (m - 2)
+	g := graph.New(total)
+	u := func(i int) int { return i }
+	v := func(i int) int { return n + i }
+	wL := func(k int) int { return 2*n + k }
+	wR := func(k int) int { return 2*n + (l - 2) + k }
+
+	for _, e := range f.Edges() {
+		g.AddEdge(u(e[0]), u(e[1]))
+		g.AddEdge(v(e[0]), v(e[1]))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(u(i), v(i))
+	}
+	for k := 0; k < l-2; k++ {
+		for i := 0; i < n; i++ {
+			if !isLeft[i] {
+				g.AddEdge(wL(k), u(i)) // φ_A(R)
+			} else {
+				g.AddEdge(wL(k), v(i)) // φ_B(L)
+			}
+		}
+		for kp := 0; kp < m-2; kp++ {
+			g.AddEdge(wL(k), wR(kp))
+		}
+	}
+	for k := 0; k < m-2; k++ {
+		for i := 0; i < n; i++ {
+			if isLeft[i] {
+				g.AddEdge(wR(k), u(i)) // φ_A(L)
+			} else {
+				g.AddEdge(wR(k), v(i)) // φ_B(R)
+			}
+		}
+	}
+	phiA := make([]int, n)
+	phiB := make([]int, n)
+	side := make([]bool, total)
+	for i := 0; i < n; i++ {
+		phiA[i] = u(i)
+		phiB[i] = v(i)
+		side[u(i)] = true
+	}
+	for k := 0; k < l-2; k++ {
+		side[wL(k)] = true // W_L with Alice
+	}
+	return &Graph{
+		G: g, H: graph.CompleteBipartite(l, m), F: f,
+		PhiA: phiA, PhiB: phiB, Side: side,
+	}, nil
+}
+
+// BipartiteC4Free realizes Observation 20 constructively: it takes the
+// polarity graph ER_q (C₄-free, Θ(n^{3/2}) edges) and keeps only the edges
+// across a locally-optimal max-cut bipartition, which is at least half of
+// them. Returns the bipartite C₄-free graph and its left side.
+func BipartiteC4Free(q int) (*graph.Graph, []int, error) {
+	er, err := turan.PolarityGraph(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := er.N()
+	side := make([]bool, n)
+	for v := 0; v < n; v++ {
+		side[v] = v%2 == 0
+	}
+	// Local search: move any vertex whose cut degree is below half its
+	// degree; terminates because the cut strictly grows.
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < n; v++ {
+			cross := 0
+			for _, w := range er.Neighbors(v) {
+				if side[w] != side[v] {
+					cross++
+				}
+			}
+			if 2*cross < er.Degree(v) {
+				side[v] = !side[v]
+				improved = true
+			}
+		}
+	}
+	f := graph.New(n)
+	for _, e := range er.Edges() {
+		if side[e[0]] != side[e[1]] {
+			f.AddEdge(e[0], e[1])
+		}
+	}
+	if 2*f.M() < er.M() {
+		return nil, nil, fmt.Errorf("lowerbound: max-cut kept %d of %d edges (impossible)", f.M(), er.M())
+	}
+	var left []int
+	for v := 0; v < n; v++ {
+		if side[v] {
+			left = append(left, v)
+		}
+	}
+	return f, left, nil
+}

@@ -1,0 +1,41 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Remark 16: the Lemma 14 construction keeps working for cliques K_ℓ of
+// size up to (1-ε)n, not just constant ℓ. Verify Definition 10 for ℓ
+// comparable to the template size.
+func TestCliqueLowerBoundLargeEll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-clique verification is slow")
+	}
+	// N=2 gives |V'| = 8 + (ℓ-4); take ℓ = 8 so ℓ/|V'| = 2/3.
+	lb, err := CliqueLowerBound(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Verify(); err != nil {
+		t.Fatalf("K8 template: %v", err)
+	}
+	// Observation 11 still biconditional.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		x, y := RandomInstance(lb, 0.4, rng)
+		if _, err := lb.ObservationEleven(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCliqueLowerBoundEll6Verifies(t *testing.T) {
+	lb, err := CliqueLowerBound(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Verify(); err != nil {
+		t.Fatalf("K6 template: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package rsgraph
+
+import (
+	"testing"
+)
+
+func TestProgressionFreeSetsAreAPFree(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10, 50, 200, 1000, 5000} {
+		s := ProgressionFreeSet(m)
+		if len(s) == 0 {
+			t.Fatalf("m=%d: empty set", m)
+		}
+		for _, v := range s {
+			if v < 1 || v > m {
+				t.Fatalf("m=%d: element %d out of range", m, v)
+			}
+		}
+		if HasThreeAP(s) {
+			t.Errorf("m=%d: set of size %d has a 3-AP", m, len(s))
+		}
+	}
+}
+
+func TestProgressionFreeSetsAreLarge(t *testing.T) {
+	// Behrend beats the trivial powers-of-... baselines: the greedy
+	// (Erdős–Turán) set {1,2,4,5,10,11,...} has size ~ m^{log3(2)} ≈
+	// m^0.63; Behrend must be asymptotically denser. At these small sizes
+	// just require a healthy fraction.
+	sizes := map[int]int{100: 10, 1000: 30, 10000: 80}
+	for m, want := range sizes {
+		s := ProgressionFreeSet(m)
+		if len(s) < want {
+			t.Errorf("m=%d: |S| = %d, want at least %d", m, len(s), want)
+		}
+	}
+}
+
+func TestProgressionFreeDensityShape(t *testing.T) {
+	// |S(m)|/m should decay slower than any fixed power: compare the
+	// density drop against the m^{-1/3} baseline over one decade.
+	d1 := float64(len(ProgressionFreeSet(500))) / 500
+	d2 := float64(len(ProgressionFreeSet(5000))) / 5000
+	if d2 <= d1/4.0 {
+		t.Errorf("density fell too fast: %f -> %f", d1, d2)
+	}
+}
+
+func TestHasThreeAP(t *testing.T) {
+	cases := []struct {
+		s    []int
+		want bool
+	}{
+		{[]int{1, 2, 3}, true},
+		{[]int{1, 2, 4}, false},
+		{[]int{1, 3, 5}, true},
+		{[]int{2, 6, 10}, true},
+		{[]int{1, 2, 4, 8, 16}, false},
+		{[]int{5}, false},
+		{[]int{}, false},
+		{[]int{7, 11, 15}, true},
+	}
+	for _, c := range cases {
+		if got := HasThreeAP(c.s); got != c.want {
+			t.Errorf("HasThreeAP(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestTripartiteVerify(t *testing.T) {
+	for _, n := range []int{3, 8, 20, 64} {
+		tr, err := NewTripartite(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Verify(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if len(tr.Triangles) != n*len(tr.S) {
+			t.Errorf("n=%d: %d triangles, want n|S| = %d", n, len(tr.Triangles), n*len(tr.S))
+		}
+		if tr.G.N() != 6*n {
+			t.Errorf("n=%d: %d vertices, want 6n", n, tr.G.N())
+		}
+	}
+}
+
+func TestTriangleOfEdge(t *testing.T) {
+	tr, err := NewTripartite(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tri := range tr.Triangles {
+		for _, e := range [][2]int{{tri[0], tri[1]}, {tri[1], tri[2]}, {tri[0], tri[2]}} {
+			if got := tr.TriangleOfEdge(e[0], e[1]); got != i {
+				t.Fatalf("edge %v maps to triangle %d, want %d", e, got, i)
+			}
+			if got := tr.TriangleOfEdge(e[1], e[0]); got != i {
+				t.Fatalf("reversed edge %v maps to %d, want %d", e, got, i)
+			}
+		}
+	}
+	if tr.TriangleOfEdge(0, 1) != -1 && tr.G.HasEdge(0, 1) == false {
+		t.Error("nonexistent edge mapped to a triangle")
+	}
+}
+
+func TestTriangleCountGrowth(t *testing.T) {
+	// m(n) = n·|S(n)| must grow superlinearly (the n²/e^{O(√log n)} shape):
+	// doubling n should much more than double the triangle count.
+	t8, _ := NewTripartite(50)
+	t16, _ := NewTripartite(200)
+	c1 := len(t8.Triangles)
+	c2 := len(t16.Triangles)
+	if c2 < 6*c1 {
+		t.Errorf("triangles grew too slowly: %d -> %d under n x4", c1, c2)
+	}
+}

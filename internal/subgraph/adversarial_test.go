@@ -1,0 +1,144 @@
+package subgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The Decode referee consumes announcements that, in a deployment, come
+// from other parties; it must reject every malformed or inconsistent
+// blackboard without panicking and without fabricating a graph.
+
+func validAnnouncements(g *graph.Graph, k int) ([]Announcement, uint64) {
+	p := fieldFor(g.N())
+	anns := make([]Announcement, g.N())
+	for v := range anns {
+		anns[v] = Announce(g.Neighbors(v), k, p)
+	}
+	return anns, p
+}
+
+func TestDecodeRejectsCorruptedDegree(t *testing.T) {
+	g := graph.Cycle(10)
+	anns, p := validAnnouncements(g, 2)
+	anns[3].Degree = 9 // inconsistent with its power sums
+	if _, ok := Decode(anns, 2, p); ok {
+		t.Error("corrupted degree accepted")
+	}
+	anns, _ = validAnnouncements(g, 2)
+	anns[3].Degree = -1
+	if _, ok := Decode(anns, 2, p); ok {
+		t.Error("negative degree accepted")
+	}
+	anns, _ = validAnnouncements(g, 2)
+	anns[3].Degree = g.N() // out of range
+	if _, ok := Decode(anns, 2, p); ok {
+		t.Error("degree = n accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptedSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Gnp(12, 0.25, rng)
+		k := g.Degeneracy()
+		if k < 1 {
+			k = 1
+		}
+		anns, p := validAnnouncements(g, k)
+		v := rng.Intn(g.N())
+		j := rng.Intn(k)
+		anns[v].Sums[j] = (anns[v].Sums[j] + 1 + uint64(rng.Intn(int(p-1)))) % p
+		recon, ok := Decode(anns, k, p)
+		if ok && recon.Equal(g) {
+			t.Fatal("corruption went unnoticed and reproduced the original (impossible)")
+		}
+		// ok with a *different* graph would break the protocol's promise:
+		// the final verification pass must have caught it.
+		if ok {
+			// If Decode returned ok, the reconstruction reproduces the
+			// corrupted announcements exactly; that is only possible if the
+			// corrupted blackboard is self-consistent, i.e. describes some
+			// other k-degenerate graph. Verify that consistency.
+			for u := 0; u < g.N(); u++ {
+				sums := powerSums(recon.Neighbors(u), k, p)
+				for i := 0; i < k; i++ {
+					if sums[i] != anns[u].Sums[i] {
+						t.Fatal("Decode returned ok for an inconsistent blackboard")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsShortSums(t *testing.T) {
+	g := graph.Path(8)
+	anns, p := validAnnouncements(g, 3)
+	anns[2].Sums = anns[2].Sums[:1]
+	if _, ok := Decode(anns, 3, p); ok {
+		t.Error("short announcement accepted")
+	}
+}
+
+func TestDecodeRejectsSwappedAnnouncements(t *testing.T) {
+	// Swapping two nodes' announcements yields an inconsistent blackboard
+	// unless the nodes are automorphic images; the verification pass must
+	// reject asymmetric swaps.
+	g := graph.Star(10)
+	anns, p := validAnnouncements(g, 1)
+	anns[0], anns[1] = anns[1], anns[0] // center <-> leaf: degrees 9 and 1
+	if _, ok := Decode(anns, 1, p); ok {
+		t.Error("swapped announcements accepted")
+	}
+}
+
+func TestDecodeAllZeroBlackboard(t *testing.T) {
+	anns := make([]Announcement, 6)
+	p := fieldFor(6)
+	for i := range anns {
+		anns[i] = Announcement{Degree: 0, Sums: make([]uint64, 2)}
+	}
+	recon, ok := Decode(anns, 2, p)
+	if !ok {
+		t.Fatal("empty graph rejected")
+	}
+	if recon.M() != 0 {
+		t.Error("phantom edges in empty reconstruction")
+	}
+}
+
+func TestDecodeRandomGarbage(t *testing.T) {
+	// Fully random blackboards must never panic; acceptance is allowed
+	// only when the garbage happens to be self-consistent.
+	rng := rand.New(rand.NewSource(2))
+	const n, k = 10, 3
+	p := fieldFor(n)
+	for trial := 0; trial < 200; trial++ {
+		anns := make([]Announcement, n)
+		for i := range anns {
+			sums := make([]uint64, k)
+			for j := range sums {
+				sums[j] = rng.Uint64() % p
+			}
+			anns[i] = Announcement{Degree: rng.Intn(n), Sums: sums}
+		}
+		recon, ok := Decode(anns, k, p)
+		if !ok {
+			continue
+		}
+		for u := 0; u < n; u++ {
+			if recon.Degree(u) != anns[u].Degree {
+				t.Fatal("accepted garbage with wrong degrees")
+			}
+			sums := powerSums(recon.Neighbors(u), k, p)
+			for j := 0; j < k; j++ {
+				if sums[j] != anns[u].Sums[j] {
+					t.Fatal("accepted garbage with wrong sums")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package subgraph
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DrawXs draws the Lemma 8 labels: each vertex independently picks X_v
+// uniform in {0..N-1} where N is the largest power of two not exceeding n.
+func DrawXs(n int, rng *rand.Rand) []uint64 {
+	bigN := 1
+	for bigN*2 <= n {
+		bigN *= 2
+	}
+	xs := make([]uint64, n)
+	for v := range xs {
+		xs[v] = uint64(rng.Intn(bigN))
+	}
+	return xs
+}
+
+// Levels returns ℓ = log2 of the largest power of two ≤ n — the number of
+// sampling levels of Lemma 8.
+func Levels(n int) int {
+	ell := 0
+	for 1<<(ell+1) <= n {
+		ell++
+	}
+	return ell
+}
+
+// SampleEdgeSubgraph builds G_j from the labels: the edge {u,v} survives
+// iff X_u ≡ X_v (mod 2^j). G_0 is G itself; each edge survives in G_j with
+// probability exactly 2^{-j} (correlated across edges, but independent at
+// any fixed vertex — the structure Lemma 8's proof uses).
+func SampleEdgeSubgraph(g *graph.Graph, xs []uint64, j int) *graph.Graph {
+	out := graph.New(g.N())
+	mask := uint64(1)<<uint(j) - 1
+	for _, e := range g.Edges() {
+		if xs[e[0]]&mask == xs[e[1]]&mask {
+			out.AddEdge(e[0], e[1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package turan
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bruteForceEx computes ex(n, H) exactly by enumerating all 2^{n(n-1)/2}
+// graphs on n vertices. Only feasible for n ≤ 6, where it grounds the
+// formulas and bounds against absolute truth.
+func bruteForceEx(n int, h *graph.Graph) int {
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	best := 0
+	total := 1 << uint(len(pairs))
+	for mask := 0; mask < total; mask++ {
+		edges := popcount(mask)
+		if edges <= best {
+			continue
+		}
+		g := graph.New(n)
+		for i, p := range pairs {
+			if mask&(1<<uint(i)) != 0 {
+				g.AddEdge(p[0], p[1])
+			}
+		}
+		if !graph.ContainsSubgraph(g, h) {
+			best = edges
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestExCliqueMatchesBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive graph enumeration")
+	}
+	for n := 3; n <= 6; n++ {
+		for l := 3; l <= 4; l++ {
+			want := bruteForceEx(n, graph.Complete(l))
+			if got := int(ExClique(n, l)); got != want {
+				t.Errorf("ex(%d, K%d) = %d, brute force %d", n, l, got, want)
+			}
+		}
+	}
+}
+
+func TestC4BoundMatchesBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive graph enumeration")
+	}
+	// Known exact values of ex(n, C4): 3, 4, 6, 7 for n = 3..6.
+	want := map[int]int{3: 3, 4: 4, 5: 6, 6: 7}
+	for n := 3; n <= 6; n++ {
+		got := bruteForceEx(n, graph.Cycle(4))
+		if got != want[n] {
+			t.Errorf("brute-force ex(%d, C4) = %d, literature %d", n, got, want[n])
+		}
+		if float64(got) > ExC4Upper(n) {
+			t.Errorf("KST bound %f below the true value %d at n=%d", ExC4Upper(n), got, n)
+		}
+	}
+}
+
+func TestOddCycleBoundMatchesBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive graph enumeration")
+	}
+	for n := 5; n <= 6; n++ {
+		got := bruteForceEx(n, graph.Cycle(5))
+		if int64(got) < ExOddCycle(n) {
+			t.Errorf("ex(%d, C5) = %d below the bipartite witness %d", n, got, ExOddCycle(n))
+		}
+	}
+}
+
+func TestPathBoundAgainstBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive graph enumeration")
+	}
+	for n := 4; n <= 6; n++ {
+		got := bruteForceEx(n, graph.Path(4))
+		if float64(got) > ExPathUpper(n, 4) {
+			t.Errorf("Erdős–Gallai bound %f below brute force %d at n=%d", ExPathUpper(n, 4), got, n)
+		}
+	}
+}

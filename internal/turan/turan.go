@@ -1,0 +1,246 @@
+// Package turan provides the extremal graph theory the paper's Section 3
+// leans on: Turán numbers ex(n,H) (Definition 5/17), extremal
+// constructions (Turán graphs, complete bipartite graphs for odd cycles,
+// Erdős–Rényi polarity graphs over projective planes for C₄), and the
+// classical upper bounds (Turán, Kővári–Sós–Turán [25], Bondy–Simonovits
+// [4], Erdős–Gallai) that feed Theorem 7's round bound and Claim 6's
+// degeneracy bound.
+package turan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErrNotPrime is returned when a polarity graph is requested for a
+// non-prime order (prime powers would need full field arithmetic).
+var ErrNotPrime = errors.New("turan: polarity graph order must be prime")
+
+// TuranGraph returns T(n,r): the balanced complete r-partite graph on n
+// vertices — the unique K_{r+1}-free graph with the most edges.
+func TuranGraph(n, r int) *graph.Graph {
+	if r < 1 {
+		panic(fmt.Sprintf("turan: T(n,%d)", r))
+	}
+	g := graph.New(n)
+	part := make([]int, n)
+	for v := 0; v < n; v++ {
+		part[v] = v % r
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if part[u] != part[v] {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ExClique returns the exact Turán number ex(n, K_l) = |E(T(n, l-1))|.
+func ExClique(n, l int) int64 {
+	if l < 2 {
+		return 0
+	}
+	r := l - 1
+	// Edges of the balanced complete r-partite graph on n vertices.
+	total := int64(n) * int64(n-1) / 2
+	for i := 0; i < r; i++ {
+		size := int64(n / r)
+		if i < n%r {
+			size++
+		}
+		total -= size * (size - 1) / 2
+	}
+	return total
+}
+
+// ExOddCycle returns ex(n, C_l) = floor(n²/4) for odd l (achieved by
+// K_{n/2, n/2}, which contains no odd cycle at all); exact for all
+// n ≥ some threshold depending on l and an upper bound in general.
+func ExOddCycle(n int) int64 {
+	return int64(n) * int64(n) / 4
+}
+
+// ExC4Upper returns the Kővári–Sós–Turán upper bound for C₄ = K_{2,2}:
+// ex(n, C₄) ≤ n/4 · (1 + sqrt(4n-3)).
+func ExC4Upper(n int) float64 {
+	return float64(n) / 4 * (1 + math.Sqrt(4*float64(n)-3))
+}
+
+// ExEvenCycleUpper returns the Bondy–Simonovits upper bound for even
+// cycles: ex(n, C_{2k}) ≤ 100·k·n^{1+1/k}. Only the order matters for the
+// Theorem 7/9 round bounds.
+func ExEvenCycleUpper(n, twoK int) float64 {
+	k := twoK / 2
+	if k < 2 {
+		return float64(n) * float64(n)
+	}
+	return 100 * float64(k) * math.Pow(float64(n), 1+1/float64(k))
+}
+
+// ExBicliqueUpper returns the Kővári–Sós–Turán bound
+// ex(n, K_{r,s}) ≤ ½((s-1)^{1/r}·(n-r+1)·n^{1-1/r} + (r-1)·n), r ≤ s.
+func ExBicliqueUpper(n, r, s int) float64 {
+	if r > s {
+		r, s = s, r
+	}
+	fr := float64(r)
+	return 0.5 * (math.Pow(float64(s-1), 1/fr)*float64(n-r+1)*math.Pow(float64(n), 1-1/fr) +
+		(fr-1)*float64(n))
+}
+
+// ExForestUpper returns the linear bound for a forest with k edges:
+// ex(n, F) ≤ (k-1)·n (any graph with more edges has a subgraph of min
+// degree ≥ k, which contains every forest with k edges).
+func ExForestUpper(n, edges int) float64 {
+	if edges < 1 {
+		return 0
+	}
+	return float64(edges-1) * float64(n)
+}
+
+// ExPathUpper returns the Erdős–Gallai bound ex(n, P_k) ≤ (k-2)·n/2 for
+// the path on k vertices.
+func ExPathUpper(n, k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	return float64(k-2) * float64(n) / 2
+}
+
+// PolarityGraph returns the Erdős–Rényi polarity graph ER_q for prime q:
+// vertices are the q²+q+1 points of the projective plane PG(2,q), with
+// {P,Q} an edge iff P·Q = 0 over GF(q). It is C₄-free with q(q+1)²/2
+// edges, witnessing ex(n, C₄) = Θ(n^{3/2}).
+func PolarityGraph(q int) (*graph.Graph, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("%w: q=%d", ErrNotPrime, q)
+	}
+	type point [3]int
+	var pts []point
+	// Canonical representatives: (1,y,z), (0,1,z), (0,0,1).
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			pts = append(pts, point{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		pts = append(pts, point{0, 1, z})
+	}
+	pts = append(pts, point{0, 0, 1})
+
+	g := graph.New(len(pts))
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			dot := 0
+			for k := 0; k < 3; k++ {
+				dot += pts[i][k] * pts[j][k]
+			}
+			if dot%q == 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// PolarityOrder returns the number of vertices of ER_q.
+func PolarityOrder(q int) int { return q*q + q + 1 }
+
+// GreedyHFree grows a random H-free graph on n vertices: random candidate
+// edges are inserted whenever they do not complete a copy of H, until
+// `attempts` candidates have been tried. Used to generate dense H-free
+// workloads for the Claim 6 / Theorem 9 experiments when no algebraic
+// extremal construction is available.
+func GreedyHFree(n int, h *graph.Graph, attempts int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for t := 0; t < attempts; t++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+		if graph.ContainsSubgraph(g, h) {
+			g.RemoveEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Family couples a fixed pattern H with the best applicable upper bound on
+// ex(n, H); it is what the Theorem 7 detector consumes.
+type Family struct {
+	Name    string
+	H       *graph.Graph
+	ExUpper func(n int) float64
+}
+
+// CliqueFamily returns the family of K_l (exact Turán numbers).
+func CliqueFamily(l int) Family {
+	return Family{
+		Name:    fmt.Sprintf("K%d", l),
+		H:       graph.Complete(l),
+		ExUpper: func(n int) float64 { return float64(ExClique(n, l)) },
+	}
+}
+
+// CycleFamily returns the family of C_l with the appropriate bound: n²/4
+// for odd l, Bondy–Simonovits (KST for l=4) for even l.
+func CycleFamily(l int) Family {
+	f := Family{Name: fmt.Sprintf("C%d", l), H: graph.Cycle(l)}
+	switch {
+	case l%2 == 1:
+		f.ExUpper = func(n int) float64 { return float64(ExOddCycle(n)) }
+	case l == 4:
+		f.ExUpper = ExC4Upper
+	default:
+		f.ExUpper = func(n int) float64 { return ExEvenCycleUpper(n, l) }
+	}
+	return f
+}
+
+// BicliqueFamily returns the family of K_{r,s} with the KST bound.
+func BicliqueFamily(r, s int) Family {
+	return Family{
+		Name:    fmt.Sprintf("K%d,%d", r, s),
+		H:       graph.CompleteBipartite(r, s),
+		ExUpper: func(n int) float64 { return ExBicliqueUpper(n, r, s) },
+	}
+}
+
+// TreeFamily returns the family of an arbitrary fixed tree/forest with the
+// linear forest bound.
+func TreeFamily(name string, t *graph.Graph) Family {
+	edges := t.M()
+	return Family{
+		Name:    name,
+		H:       t,
+		ExUpper: func(n int) float64 { return ExForestUpper(n, edges) },
+	}
+}
+
+// DegeneracyBound returns Claim 6's bound on the degeneracy of an n-vertex
+// H-free graph: 4·ex(n,H)/n, rounded up, using the family's upper bound.
+func (f Family) DegeneracyBound(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return int(math.Ceil(4 * f.ExUpper(n) / float64(n)))
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}

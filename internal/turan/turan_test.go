@@ -1,0 +1,174 @@
+package turan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTuranGraphIsCliqueFree(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{10, 2}, {12, 3}, {13, 4}} {
+		g := TuranGraph(tc.n, tc.r)
+		if graph.ContainsSubgraph(g, graph.Complete(tc.r+1)) {
+			t.Errorf("T(%d,%d) contains K%d", tc.n, tc.r, tc.r+1)
+		}
+		if !graph.ContainsSubgraph(g, graph.Complete(tc.r)) {
+			t.Errorf("T(%d,%d) misses K%d", tc.n, tc.r, tc.r)
+		}
+		if int64(g.M()) != ExClique(tc.n, tc.r+1) {
+			t.Errorf("T(%d,%d) edges = %d, ExClique says %d",
+				tc.n, tc.r, g.M(), ExClique(tc.n, tc.r+1))
+		}
+	}
+}
+
+func TestExCliqueKnownValues(t *testing.T) {
+	cases := []struct {
+		n, l int
+		want int64
+	}{
+		{4, 3, 4},   // K3-free max = C4 = K_{2,2}
+		{5, 3, 6},   // K_{2,3}
+		{6, 3, 9},   // K_{3,3}
+		{7, 4, 16},  // T(7,3) = 2+2+3 parts: 21-1-1-3 = 16
+		{10, 3, 25}, // n²/4
+	}
+	for _, c := range cases {
+		if got := ExClique(c.n, c.l); got != c.want {
+			t.Errorf("ex(%d, K%d) = %d, want %d", c.n, c.l, got, c.want)
+		}
+	}
+}
+
+func TestExCliqueMatchesBruteForceSmall(t *testing.T) {
+	// For n <= 7 and l=3, check against exhaustive search over graphs is
+	// too costly; instead verify monotonicity and the n²/4 identity.
+	for n := 2; n <= 20; n++ {
+		if got, want := ExClique(n, 3), int64(n*n/4); got != want {
+			t.Errorf("ex(%d,K3) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOddCycleExtremalGraph(t *testing.T) {
+	// K_{n/2,n/2} is C_l-free for all odd l and has n²/4 edges.
+	g := graph.CompleteBipartite(8, 8)
+	for _, l := range []int{3, 5, 7} {
+		if graph.ContainsSubgraph(g, graph.Cycle(l)) {
+			t.Errorf("bipartite graph contains C%d", l)
+		}
+	}
+	if int64(g.M()) != ExOddCycle(16) {
+		t.Errorf("K_{8,8} edges = %d, want %d", g.M(), ExOddCycle(16))
+	}
+}
+
+func TestPolarityGraphProperties(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g, err := PolarityGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := PolarityOrder(q)
+		if g.N() != wantN {
+			t.Errorf("ER_%d has %d vertices, want %d", q, g.N(), wantN)
+		}
+		wantM := q * (q + 1) * (q + 1) / 2
+		if g.M() != wantM {
+			t.Errorf("ER_%d has %d edges, want %d", q, g.M(), wantM)
+		}
+		if graph.ContainsSubgraph(g, graph.Cycle(4)) {
+			t.Errorf("ER_%d contains a C4", q)
+		}
+		// Edge count within the KST bound.
+		if float64(g.M()) > ExC4Upper(g.N()) {
+			t.Errorf("ER_%d beats the KST bound: %d > %f", q, g.M(), ExC4Upper(g.N()))
+		}
+		// And within a constant of it (density witness): at least 1/3 of it.
+		if float64(g.M()) < ExC4Upper(g.N())/3 {
+			t.Errorf("ER_%d too sparse to witness Θ(n^{3/2}): %d vs %f", q, g.M(), ExC4Upper(g.N()))
+		}
+	}
+}
+
+func TestPolarityGraphRejectsComposite(t *testing.T) {
+	for _, q := range []int{1, 4, 6, 9} {
+		if _, err := PolarityGraph(q); err == nil {
+			t.Errorf("q=%d accepted", q)
+		}
+	}
+}
+
+func TestGreedyHFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []Family{CycleFamily(4), CliqueFamily(3), CycleFamily(5)} {
+		g := GreedyHFree(24, f.H, 1500, rng)
+		if graph.ContainsSubgraph(g, f.H) {
+			t.Errorf("greedy %s-free graph contains %s", f.Name, f.Name)
+		}
+		if g.M() == 0 {
+			t.Errorf("greedy %s-free graph is empty", f.Name)
+		}
+		if float64(g.M()) > f.ExUpper(24) {
+			t.Errorf("greedy %s-free graph has %d edges above bound %f",
+				f.Name, g.M(), f.ExUpper(24))
+		}
+	}
+}
+
+func TestFamilyDegeneracyBoundClaim6(t *testing.T) {
+	// Claim 6: degeneracy of an H-free graph is at most 4·ex(n,H)/n.
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		fam Family
+		g   *graph.Graph
+	}{
+		{CliqueFamily(3), graph.CompleteBipartite(10, 10)},
+		{CliqueFamily(4), TuranGraph(20, 3)},
+		{CycleFamily(5), graph.CompleteBipartite(9, 9)},
+		{CycleFamily(4), mustPolarity(t, 5)},
+		{BicliqueFamily(2, 2), mustPolarity(t, 3)},
+		{TreeFamily("P4", graph.Path(4)), GreedyHFree(20, graph.Path(4), 800, rng)},
+	}
+	for _, c := range cases {
+		n := c.g.N()
+		if graph.ContainsSubgraph(c.g, c.fam.H) {
+			t.Fatalf("%s test graph not %s-free", c.fam.Name, c.fam.Name)
+		}
+		if got, bound := c.g.Degeneracy(), c.fam.DegeneracyBound(n); got > bound {
+			t.Errorf("%s-free graph on %d vertices has degeneracy %d > bound %d",
+				c.fam.Name, n, got, bound)
+		}
+	}
+}
+
+func TestBoundMonotonicityAndOrders(t *testing.T) {
+	// Sanity: the C4 bound grows like n^{3/2}: ratio at 4x n is about 8.
+	r := ExC4Upper(4000) / ExC4Upper(1000)
+	if math.Abs(r-8) > 0.6 {
+		t.Errorf("C4 bound growth ratio %f, want ~8", r)
+	}
+	// Even cycle C6 bound grows like n^{4/3}: ratio at 8x n about 16.
+	r = ExEvenCycleUpper(8000, 6) / ExEvenCycleUpper(1000, 6)
+	if math.Abs(r-16) > 1.5 {
+		t.Errorf("C6 bound growth ratio %f, want ~16", r)
+	}
+	// Forest bound is linear.
+	if ExForestUpper(100, 4) != 3*100 {
+		t.Error("forest bound wrong")
+	}
+	if ExPathUpper(10, 4) != 10 {
+		t.Error("path bound wrong")
+	}
+}
+
+func mustPolarity(t *testing.T, q int) *graph.Graph {
+	t.Helper()
+	g, err := PolarityGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
