@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -23,8 +24,10 @@ func main() {
 		exp   = flag.String("exp", "all", "experiment ID to run (E1..E12) or 'all'")
 		quick = flag.Bool("quick", false, "reduced parameter sweeps")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		par   = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
 	)
 	flag.Parse()
+	core.SetDefaultParallelism(*par)
 
 	if *list {
 		for _, e := range experiments.All {

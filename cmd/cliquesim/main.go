@@ -37,8 +37,10 @@ func main() {
 		family  = flag.String("family", "schoolbook", "matmul family: schoolbook | strassen")
 		pattern = flag.String("pattern", "C4", "pattern for detect/adaptive: K3 K4 K5 C4 C5 C6 P4 K22")
 		k       = flag.Int("k", 2, "degeneracy parameter (reconstruct)")
+		par     = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
 	)
 	flag.Parse()
+	core.SetDefaultParallelism(*par)
 
 	rng := rand.New(rand.NewSource(*seed))
 	g := graph.Gnp(*n, *p, rng)

@@ -3,11 +3,20 @@
 // every protocol message is a Buffer whose length is tracked at bit
 // granularity; the round engine enforces the per-link bandwidth b against
 // Buffer.Len.
+//
+// Buffers support zero-copy delivery: Freeze returns an immutable view
+// that shares the buffer's storage, and the original transparently copies
+// on its next write (copy-on-write). The round engine freezes a message
+// once at stage time and hands the same frozen view to every recipient, so
+// a broadcast costs one snapshot instead of N-1 deep copies. A package
+// pool (Get/Release) recycles Buffer structs across rounds.
 package bits
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a read runs past the end of a Reader.
@@ -15,9 +24,15 @@ var ErrShortBuffer = errors.New("bits: read past end of buffer")
 
 // Buffer is an append-only bit string. The zero value is an empty buffer
 // ready to use.
+//
+// Invariant: len(data) == (n+7)/8 and every bit of data at position >= n
+// is zero. All writers preserve this, which is what allows the word-level
+// fast paths in Append, WriteUint and Equal.
 type Buffer struct {
-	data []byte
-	n    int // number of valid bits in data
+	data   []byte
+	n      int  // number of valid bits in data
+	frozen bool // immutable view produced by Freeze; writers panic
+	cow    bool // storage is shared with a frozen view; copy before write
 }
 
 // New returns an empty buffer with capacity for sizeHint bits.
@@ -33,6 +48,9 @@ func FromBits(data []byte, n int) (*Buffer, error) {
 	}
 	cp := make([]byte, (n+7)/8)
 	copy(cp, data)
+	if n%8 != 0 {
+		cp[len(cp)-1] &= byte(1<<uint(n%8)) - 1
+	}
 	return &Buffer{data: cp, n: n}, nil
 }
 
@@ -48,21 +66,64 @@ func (b *Buffer) Len() int {
 // filled. The caller must not modify the returned slice.
 func (b *Buffer) Bytes() []byte { return b.data }
 
-// Clone returns an independent copy of the buffer.
+// Clone returns an independent, writable copy of the buffer.
 func (b *Buffer) Clone() *Buffer {
 	cp := make([]byte, len(b.data))
 	copy(cp, b.data)
 	return &Buffer{data: cp, n: b.n}
 }
 
-// Reset truncates the buffer to zero bits, retaining capacity.
+// Freeze returns an immutable view of b's current contents that shares
+// b's storage — no bits are copied. The view panics on any mutation; b
+// itself stays writable, transparently copying its storage on the next
+// write so the view is never disturbed (copy-on-write). Freezing an
+// already-frozen buffer returns it unchanged.
+//
+// This is the engine's zero-copy delivery primitive: one frozen view of a
+// staged message is shared by every recipient.
+func (b *Buffer) Freeze() *Buffer {
+	if b.frozen {
+		return b
+	}
+	b.cow = true
+	return &Buffer{data: b.data, n: b.n, frozen: true}
+}
+
+// Frozen reports whether the buffer is an immutable Freeze view.
+func (b *Buffer) Frozen() bool { return b.frozen }
+
+// beforeWrite enforces immutability of frozen views and detaches shared
+// storage before the first write after a Freeze.
+func (b *Buffer) beforeWrite() {
+	if b.frozen {
+		panic("bits: write to frozen buffer (message buffers received from the engine are read-only)")
+	}
+	if b.cow {
+		cp := make([]byte, len(b.data), cap(b.data))
+		copy(cp, b.data)
+		b.data = cp
+		b.cow = false
+	}
+}
+
+// Reset truncates the buffer to zero bits. Storage shared with a frozen
+// view is abandoned to the view; otherwise capacity is retained.
 func (b *Buffer) Reset() {
-	b.data = b.data[:0]
+	if b.frozen {
+		panic("bits: reset of frozen buffer")
+	}
+	if b.cow {
+		b.data = nil
+		b.cow = false
+	} else {
+		b.data = b.data[:0]
+	}
 	b.n = 0
 }
 
 // WriteBit appends a single bit (any nonzero v is treated as 1).
 func (b *Buffer) WriteBit(v uint64) {
+	b.beforeWrite()
 	if b.n%8 == 0 {
 		b.data = append(b.data, 0)
 	}
@@ -78,8 +139,43 @@ func (b *Buffer) WriteUint(v uint64, width int) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("bits: invalid width %d", width))
 	}
-	for i := 0; i < width; i++ {
-		b.WriteBit((v >> uint(i)) & 1)
+	if width == 0 {
+		return
+	}
+	b.beforeWrite()
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	off := b.n
+	b.n += width
+	need := (b.n + 7) / 8
+	b.grow(need)
+	i := off >> 3
+	s := uint(off & 7)
+	b.data[i] |= byte(v << s)
+	rem := v >> (8 - s)
+	for k := i + 1; rem != 0; k++ {
+		b.data[k] |= byte(rem)
+		rem >>= 8
+	}
+}
+
+// grow extends the valid byte range to `need`, zeroing any recycled
+// capacity so the trailing-bits-are-zero invariant holds.
+func (b *Buffer) grow(need int) {
+	old := len(b.data)
+	if need <= old {
+		return
+	}
+	if cap(b.data) >= need {
+		b.data = b.data[:need]
+	} else {
+		nd := make([]byte, need, 2*need)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	for k := old; k < need; k++ {
+		b.data[k] = 0
 	}
 }
 
@@ -92,16 +188,29 @@ func (b *Buffer) WriteBool(v bool) {
 	}
 }
 
-// Append concatenates all bits of other onto b.
+// Append concatenates all bits of other onto b. The copy runs a byte at a
+// time (memcpy when b is byte-aligned), not bit by bit.
 func (b *Buffer) Append(other *Buffer) {
-	r := NewReader(other)
-	for r.Remaining() > 0 {
-		w := r.Remaining()
-		if w > 64 {
-			w = 64
+	m := other.Len()
+	if m == 0 {
+		return
+	}
+	b.beforeWrite()
+	src := other.data[:(m+7)/8]
+	s := uint(b.n & 7)
+	if s == 0 {
+		b.data = append(b.data, src...)
+		b.n += m
+		return
+	}
+	base := b.n >> 3
+	b.n += m
+	b.grow((b.n + 7) / 8)
+	for k, v := range src {
+		b.data[base+k] |= v << s
+		if hi := v >> (8 - s); hi != 0 {
+			b.data[base+k+1] |= hi
 		}
-		v, _ := r.ReadUint(w)
-		b.WriteUint(v, w)
 	}
 }
 
@@ -110,23 +219,42 @@ func (b *Buffer) Slice(from, to int) (*Buffer, error) {
 	if from < 0 || to > b.n || from > to {
 		return nil, fmt.Errorf("bits: slice [%d,%d) out of range of %d bits", from, to, b.n)
 	}
-	out := New(to - from)
-	r := NewReader(b)
-	if err := r.Skip(from); err != nil {
-		return nil, err
-	}
-	for i := from; i < to; i++ {
-		v, err := r.ReadBit()
-		if err != nil {
-			return nil, err
-		}
-		out.WriteBit(v)
-	}
+	m := to - from
+	out := &Buffer{data: make([]byte, (m+7)/8), n: m}
+	copyBits(out.data, b.data, from, m)
 	return out, nil
 }
 
+// copyBits copies m bits of src starting at bit offset `from` into dst
+// starting at bit 0, then masks the trailing partial byte of dst.
+func copyBits(dst, src []byte, from, m int) {
+	if m == 0 {
+		return
+	}
+	i := from >> 3
+	s := uint(from & 7)
+	nb := (m + 7) / 8
+	if s == 0 {
+		copy(dst, src[i:i+nb])
+	} else {
+		for k := 0; k < nb; k++ {
+			v := src[i+k] >> s
+			if i+k+1 < len(src) {
+				v |= src[i+k+1] << (8 - s)
+			}
+			dst[k] = v
+		}
+	}
+	if m%8 != 0 {
+		dst[nb-1] &= byte(1<<uint(m%8)) - 1
+	}
+}
+
 // Chunks splits the buffer into pieces of at most chunkBits bits each,
-// preserving order. An empty buffer yields no chunks.
+// preserving order. An empty buffer yields no chunks. The chunks are
+// drawn from the package pool: callers that stage-and-forget them (the
+// round-helper send loops) Release each chunk once staged, so
+// steady-state chunked exchanges recycle their buffers.
 func (b *Buffer) Chunks(chunkBits int) []*Buffer {
 	if chunkBits <= 0 {
 		panic("bits: chunkBits must be positive")
@@ -140,10 +268,11 @@ func (b *Buffer) Chunks(chunkBits int) []*Buffer {
 		if end > b.Len() {
 			end = b.Len()
 		}
-		c, err := b.Slice(off, end)
-		if err != nil {
-			panic(err) // unreachable: bounds are validated above
-		}
+		m := end - off
+		c := Get(m)
+		c.grow((m + 7) / 8)
+		c.n = m
+		copyBits(c.data, b.data, off, m)
 		out = append(out, c)
 	}
 	return out
@@ -167,16 +296,41 @@ func (b *Buffer) Equal(other *Buffer) bool {
 	if b.Len() != other.Len() {
 		return false
 	}
-	for i := 0; i < b.Len(); i++ {
-		if b.bit(i) != other.bit(i) {
-			return false
-		}
-	}
-	return true
+	// Trailing bits past n are zero on both sides (package invariant), so
+	// byte equality is bit equality.
+	return bytes.Equal(b.data, other.data)
 }
 
 func (b *Buffer) bit(i int) uint64 {
 	return uint64(b.data[i/8]>>uint(i%8)) & 1
+}
+
+// bufPool recycles Buffer structs between rounds. Only storage that is
+// not shared with a frozen view is reused.
+var bufPool = sync.Pool{New: func() interface{} { return new(Buffer) }}
+
+// Get returns an empty buffer from the package pool with capacity for
+// sizeHint bits. Pair with Release when the buffer's contents are no
+// longer needed (staged messages may be Released after the round: their
+// frozen views keep the delivered bits alive).
+func Get(sizeHint int) *Buffer {
+	b := bufPool.Get().(*Buffer)
+	if cap(b.data) < (sizeHint+7)/8 {
+		b.data = make([]byte, 0, (sizeHint+7)/8)
+	}
+	return b
+}
+
+// Release resets b and returns it to the package pool. Frozen views are
+// never pooled (recipients may still hold them); storage shared with a
+// frozen view is abandoned to the view and only the struct is recycled.
+// Release of nil is a no-op.
+func (b *Buffer) Release() {
+	if b == nil || b.frozen {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
 }
 
 // Reader consumes a Buffer from the front.
@@ -216,7 +370,8 @@ func (r *Reader) ReadBit() (uint64, error) {
 	return v, nil
 }
 
-// ReadUint consumes `width` bits written by WriteUint.
+// ReadUint consumes `width` bits written by WriteUint. The gather runs a
+// byte at a time, not bit by bit.
 func (r *Reader) ReadUint(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		return 0, fmt.Errorf("bits: invalid width %d", width)
@@ -224,10 +379,29 @@ func (r *Reader) ReadUint(width int) (uint64, error) {
 	if r.Remaining() < width {
 		return 0, ErrShortBuffer
 	}
-	var v uint64
-	for i := 0; i < width; i++ {
-		b, _ := r.ReadBit()
-		v |= b << uint(i)
+	if width == 0 {
+		return 0, nil
+	}
+	off := r.pos
+	r.pos += width
+	d := r.buf.data
+	i := off >> 3
+	s := uint(off & 7)
+	nb := (int(s) + width + 7) / 8
+	var raw uint64
+	stop := nb
+	if stop > 8 {
+		stop = 8
+	}
+	for k := 0; k < stop; k++ {
+		raw |= uint64(d[i+k]) << (8 * uint(k))
+	}
+	v := raw >> s
+	if nb > 8 {
+		v |= uint64(d[i+8]) << (64 - s)
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
 	}
 	return v, nil
 }

@@ -207,3 +207,160 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("String = %q, want 101", got)
 	}
 }
+
+func TestFreezeSharesAndProtects(t *testing.T) {
+	var a Buffer
+	a.WriteUint(0xAB, 8)
+	v := a.Freeze()
+	if !v.Frozen() {
+		t.Fatal("view not frozen")
+	}
+	if &a.data[0] != &v.data[0] {
+		t.Error("Freeze copied storage; want shared")
+	}
+	// Mutating the original copies-on-write and leaves the view intact.
+	a.WriteUint(0xFF, 8)
+	if v.Len() != 8 {
+		t.Fatalf("view length changed to %d", v.Len())
+	}
+	if got, _ := NewReader(v).ReadUint(8); got != 0xAB {
+		t.Errorf("view reads %#x after original mutated, want 0xab", got)
+	}
+	if got, _ := NewReader(&a).ReadUint(8); got != 0xAB {
+		t.Errorf("original corrupted: %#x", got)
+	}
+	if a.Len() != 16 {
+		t.Errorf("original len = %d, want 16", a.Len())
+	}
+	// Freezing a frozen view is the identity.
+	if v2 := v.Freeze(); v2 != v {
+		t.Error("Freeze of frozen view returned a new buffer")
+	}
+}
+
+func TestFreezeResetDetaches(t *testing.T) {
+	var a Buffer
+	a.WriteUint(0x3C, 7)
+	v := a.Freeze()
+	a.Reset()
+	a.WriteUint(0x7F, 7)
+	if got, _ := NewReader(v).ReadUint(7); got != 0x3C {
+		t.Errorf("view reads %#x after original Reset+rewrite, want 0x3c", got)
+	}
+}
+
+func TestFrozenWritePanics(t *testing.T) {
+	var a Buffer
+	a.WriteBit(1)
+	v := a.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Error("write to frozen buffer did not panic")
+		}
+	}()
+	v.WriteBit(0)
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	b := Get(64)
+	b.WriteUint(123, 32)
+	v := b.Freeze()
+	b.Release() // storage is shared with v: must be abandoned, not reused
+	if got, _ := NewReader(v).ReadUint(32); got != 123 {
+		t.Errorf("frozen view corrupted by Release: %d", got)
+	}
+	c := Get(16)
+	c.WriteUint(9, 16)
+	if got, _ := NewReader(c).ReadUint(16); got != 9 {
+		t.Errorf("pooled buffer reads %d, want 9", got)
+	}
+	if got, _ := NewReader(v).ReadUint(32); got != 123 {
+		t.Errorf("frozen view corrupted by pooled reuse: %d", got)
+	}
+	c.Release()
+	v.Release() // no-op on frozen views
+	var nilBuf *Buffer
+	nilBuf.Release() // no-op on nil
+}
+
+func TestAppendUnalignedQuick(t *testing.T) {
+	// Append at every (dst offset, src length) phase must match the
+	// bit-by-bit reference.
+	f := func(dstBits uint8, srcBits uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, m := int(dstBits%70), int(srcBits%70)
+		var dst, src Buffer
+		ref := make([]uint64, 0, d+m)
+		for i := 0; i < d; i++ {
+			v := uint64(rng.Intn(2))
+			dst.WriteBit(v)
+			ref = append(ref, v)
+		}
+		for i := 0; i < m; i++ {
+			v := uint64(rng.Intn(2))
+			src.WriteBit(v)
+			ref = append(ref, v)
+		}
+		dst.Append(&src)
+		if dst.Len() != d+m {
+			return false
+		}
+		for i, want := range ref {
+			if dst.bit(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadUintUnalignedQuick(t *testing.T) {
+	// WriteUint/ReadUint at arbitrary bit offsets round-trip.
+	f := func(pre uint8, v uint64, widthSeed uint8) bool {
+		p := int(pre % 13)
+		width := int(widthSeed%64) + 1
+		masked := v
+		if width < 64 {
+			masked = v & (1<<uint(width) - 1)
+		}
+		var b Buffer
+		b.WriteUint(uint64(pre), p)
+		b.WriteUint(v, width)
+		b.WriteUint(0xF0F0, 16) // trailing data must not disturb the read
+		r := NewReader(&b)
+		if err := r.Skip(p); err != nil {
+			return false
+		}
+		got, err := r.ReadUint(width)
+		if err != nil || got != masked {
+			return false
+		}
+		tail, err := r.ReadUint(16)
+		return err == nil && tail == 0xF0F0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBitsMasksTrailingGarbage(t *testing.T) {
+	// FromBits must zero bits past n so byte-level Equal/Append stay exact.
+	buf, err := FromBits([]byte{0xFF}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want Buffer
+	want.WriteUint(7, 3)
+	if !buf.Equal(&want) {
+		t.Errorf("FromBits(0xFF, 3) = %s, want 111", buf)
+	}
+	var cat Buffer
+	cat.Append(buf)
+	cat.Append(buf)
+	if cat.String() != "111111" {
+		t.Errorf("append of masked buffers = %s, want 111111", cat.String())
+	}
+}

@@ -15,12 +15,31 @@
 // total bits, per-link load, per-node broadcast bits and (optionally) the
 // bits crossing a designated cut — the quantity the paper's Section 3 lower
 // bounds reason about.
+//
+// # Execution engine
+//
+// Within a round the Step calls of distinct nodes are independent — each
+// reads only its own inbox and stages sends into its own Ctx — so the
+// engine fans them out across a worker pool (Config.Parallelism; see
+// DESIGN.md §3). Collection, delivery and accounting run sequentially in
+// ascending node order, so Outputs and Stats are bit-identical for every
+// parallelism setting; Parallelism=1 keeps the legacy sequential path as
+// the determinism oracle.
+//
+// Delivery is zero-copy: a staged message is frozen once
+// (bits.Buffer.Freeze) and the same immutable view is shared by all
+// recipients, so a unicast broadcast costs one snapshot instead of N-1
+// deep copies. Received buffers are therefore read-only; mutating one
+// panics.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bits"
 	"repro/internal/graph"
@@ -71,10 +90,48 @@ type Config struct {
 	Seed      int64        // base seed; node i draws from Seed*1e9 + i
 	MaxRounds int          // safety bound; 0 means DefaultMaxRounds
 	CutSide   []bool       // optional: membership of the cut side for CutBits accounting
+
+	// Parallelism is the number of workers stepping nodes within a round.
+	// 0 consults the package default (SetDefaultParallelism), which itself
+	// defaults to runtime.GOMAXPROCS(0); 1 forces the sequential legacy
+	// engine (the determinism oracle); k > 1 uses k workers. Outputs and
+	// Stats are identical for every setting.
+	Parallelism int
 }
 
 // DefaultMaxRounds bounds runaway protocols.
 const DefaultMaxRounds = 1 << 20
+
+// defaultParallelism is consulted by runs whose Config.Parallelism is 0;
+// 0 means runtime.GOMAXPROCS(0).
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism sets the worker count used by runs whose
+// Config.Parallelism is zero: 1 forces the sequential engine everywhere,
+// k > 1 uses k workers, 0 restores the default (GOMAXPROCS). It is what
+// the -parallelism flags of the cmd binaries plumb through, so protocol
+// packages that build their own Config pick it up without new knobs.
+func SetDefaultParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	defaultParallelism.Store(int64(p))
+}
+
+// DefaultParallelism reports the current package default (0 = GOMAXPROCS).
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// workers resolves the effective worker count for this run.
+func (c *Config) workers() int {
+	p := c.Parallelism
+	if p == 0 {
+		p = int(defaultParallelism.Load())
+	}
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
 
 func (c *Config) validate() error {
 	if c.N <= 0 {
@@ -94,6 +151,9 @@ func (c *Config) validate() error {
 	}
 	if c.CutSide != nil && len(c.CutSide) != c.N {
 		return fmt.Errorf("%w: CutSide length %d != N %d", ErrBadConfig, len(c.CutSide), c.N)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism=%d", ErrBadConfig, c.Parallelism)
 	}
 	return nil
 }
@@ -120,6 +180,11 @@ type Result struct {
 // none). For the Broadcast model in[j] is node j's broadcast from the
 // previous round. Step reports done=true when the node has halted; halted
 // nodes are not stepped again.
+//
+// Received buffers are immutable views shared with other recipients;
+// treat them as read-only (mutating one panics). Distinct nodes may be
+// stepped concurrently, so state shared between nodes outside the model's
+// messages must be read-only or synchronized.
 type Node interface {
 	Step(ctx *Ctx, in []*bits.Buffer) (done bool, err error)
 }
@@ -137,6 +202,7 @@ type Ctx struct {
 	rng    *rand.Rand
 	round  int
 	out    []*bits.Buffer // staged unicast messages, indexed by destination
+	sent   []int          // destinations staged this round
 	bcast  *bits.Buffer   // staged broadcast
 	output interface{}
 	halted bool
@@ -163,11 +229,8 @@ func (c *Ctx) Rand() *rand.Rand { return c.rng }
 // SetOutput records the node's final (or running) output value.
 func (c *Ctx) SetOutput(v interface{}) { c.output = v }
 
-// Send stages msg for delivery to dst at the start of the next round.
-// It enforces the model's constraints: unicast only in UCAST/CONGEST, at
-// most one message per link per round, at most Bandwidth bits, and in the
-// CONGEST model dst must be a topology neighbor.
-func (c *Ctx) Send(dst int, msg *bits.Buffer) error {
+// checkSend validates a unicast staging against the model's constraints.
+func (c *Ctx) checkSend(dst int, msg *bits.Buffer) error {
 	if c.halted {
 		return ErrAfterBarrier
 	}
@@ -190,14 +253,33 @@ func (c *Ctx) Send(dst int, msg *bits.Buffer) error {
 	if c.out[dst] != nil {
 		return fmt.Errorf("%w: %d -> %d", ErrDoubleSend, c.id, dst)
 	}
-	c.out[dst] = msg.Clone()
+	return nil
+}
+
+// stage records a frozen message for dst.
+func (c *Ctx) stage(dst int, frozen *bits.Buffer) {
+	c.out[dst] = frozen
+	c.sent = append(c.sent, dst)
+}
+
+// Send stages msg for delivery to dst at the start of the next round.
+// It enforces the model's constraints: unicast only in UCAST/CONGEST, at
+// most one message per link per round, at most Bandwidth bits, and in the
+// CONGEST model dst must be a topology neighbor. The message is frozen in
+// place (no copy); the caller's buffer stays writable via copy-on-write.
+func (c *Ctx) Send(dst int, msg *bits.Buffer) error {
+	if err := c.checkSend(dst, msg); err != nil {
+		return err
+	}
+	c.stage(dst, msg.Freeze())
 	return nil
 }
 
 // Broadcast stages msg for delivery to every other node next round. In the
 // UCAST model it is sugar for sending the same message on every link (as
 // the paper notes, unicast subsumes broadcast); in the BCAST model it is
-// the only way to communicate.
+// the only way to communicate. All recipients share a single frozen view
+// of msg — staging costs O(1) copies regardless of fan-out.
 func (c *Ctx) Broadcast(msg *bits.Buffer) error {
 	if c.halted {
 		return ErrAfterBarrier
@@ -211,27 +293,211 @@ func (c *Ctx) Broadcast(msg *bits.Buffer) error {
 		if c.bcast != nil {
 			return fmt.Errorf("%w: second broadcast by node %d", ErrDoubleSend, c.id)
 		}
-		c.bcast = msg.Clone()
+		c.bcast = msg.Freeze()
 		return nil
 	case Unicast:
+		frozen := msg.Freeze()
 		for dst := 0; dst < c.cfg.N; dst++ {
 			if dst == c.id {
 				continue
 			}
-			if err := c.Send(dst, msg); err != nil {
-				return err
+			if c.out[dst] != nil {
+				return fmt.Errorf("%w: %d -> %d", ErrDoubleSend, c.id, dst)
 			}
+			c.stage(dst, frozen)
 		}
 		return nil
 	case Congest:
+		frozen := msg.Freeze()
 		for _, dst := range c.cfg.Topology.Neighbors(c.id) {
-			if err := c.Send(dst, msg); err != nil {
-				return err
+			if c.out[dst] != nil {
+				return fmt.Errorf("%w: %d -> %d", ErrDoubleSend, c.id, dst)
 			}
+			c.stage(dst, frozen)
 		}
 		return nil
 	default:
 		return ErrBadModel
+	}
+}
+
+// delivery records one filled inbox slot, to be cleared next round.
+type delivery struct{ dst, src int }
+
+// engine holds the per-run state of the round loop. All matrices are
+// allocated once up front and reused across rounds.
+type engine struct {
+	cfg       *Config
+	nodes     []Node
+	ctxs      []*Ctx
+	inboxes   [][]*bits.Buffer
+	stats     Stats
+	live      []int // ascending ids of non-halted nodes
+	spare     []int // scratch for the next live list (double-buffered)
+	stepped   []int // nodes stepped this round (the previous live list)
+	done      []bool
+	errs      []error
+	delivered []delivery // inbox slots filled by the last delivery
+	workers   int
+}
+
+func newEngine(cfg *Config, nodes []Node) *engine {
+	n := cfg.N
+	e := &engine{
+		cfg:     cfg,
+		nodes:   nodes,
+		ctxs:    make([]*Ctx, n),
+		inboxes: make([][]*bits.Buffer, n),
+		stats:   Stats{NodeSentBits: make([]int64, n)},
+		live:    make([]int, n),
+		spare:   make([]int, 0, n),
+		done:    make([]bool, n),
+		errs:    make([]error, n),
+		workers: cfg.workers(),
+	}
+	inboxFlat := make([]*bits.Buffer, n*n)
+	outFlat := make([]*bits.Buffer, n*n)
+	for i := 0; i < n; i++ {
+		e.ctxs[i] = &Ctx{
+			id:   i,
+			cfg:  cfg,
+			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_000_007 + int64(i))),
+			out:  outFlat[i*n : (i+1)*n : (i+1)*n],
+			sent: make([]int, 0, 4),
+		}
+		e.inboxes[i] = inboxFlat[i*n : (i+1)*n : (i+1)*n]
+		e.live[i] = i
+	}
+	return e
+}
+
+// stepOne invokes one node's Step and records its halt flag.
+func (e *engine) stepOne(slot, id, round int) error {
+	ctx := e.ctxs[id]
+	ctx.round = round
+	d, err := e.nodes[id].Step(ctx, e.inboxes[id])
+	e.done[slot] = d
+	return err
+}
+
+// step runs all live nodes for one round — sequentially, or fanned out
+// over the worker pool — then compacts the live list. Errors are reported
+// for the lowest-numbered failing node.
+func (e *engine) step(round int) error {
+	n := len(e.live)
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for k, id := range e.live {
+			if err := e.stepOne(k, id, round); err != nil {
+				return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + w - 1) / w
+		for g := 0; g < w; g++ {
+			lo := g * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					e.errs[k] = e.stepOne(k, e.live[k], round)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		for k, id := range e.live {
+			if err := e.errs[k]; err != nil {
+				return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
+			}
+		}
+	}
+	// Compact the live list; halt the nodes that reported done.
+	next := e.spare[:0]
+	for k, id := range e.live {
+		if e.done[k] {
+			e.ctxs[id].halted = true
+		} else {
+			next = append(next, id)
+		}
+	}
+	e.stepped = e.live
+	e.live, e.spare = next, e.live
+	return nil
+}
+
+// deliver collects the messages staged by this round's stepped nodes,
+// meters them, and files them into the recipients' inboxes. It runs
+// sequentially in ascending node order, which (together with the
+// order-insensitive Stats aggregates) keeps accounting bit-identical to
+// the sequential engine.
+func (e *engine) deliver() {
+	// Clear only the inbox slots the previous round filled — O(messages),
+	// not O(N^2).
+	for _, d := range e.delivered {
+		e.inboxes[d.dst][d.src] = nil
+	}
+	e.delivered = e.delivered[:0]
+
+	cfg := e.cfg
+	sentAny := false
+	for _, i := range e.stepped {
+		ctx := e.ctxs[i]
+		if msg := ctx.bcast; msg != nil {
+			ctx.bcast = nil
+			sentAny = true
+			ln := msg.Len()
+			e.stats.TotalBits += int64(ln)
+			e.stats.NodeSentBits[i] += int64(ln)
+			if ln > e.stats.MaxLinkBits {
+				e.stats.MaxLinkBits = ln
+			}
+			if cfg.CutSide != nil {
+				// A broadcast is readable by the other side of the cut
+				// once (shared blackboard), so it contributes its length.
+				e.stats.CutBits += int64(ln)
+			}
+			for j := 0; j < cfg.N; j++ {
+				if j == i {
+					continue
+				}
+				e.inboxes[j][i] = msg
+				e.delivered = append(e.delivered, delivery{j, i})
+			}
+		}
+		if len(ctx.sent) == 0 {
+			continue
+		}
+		sentAny = true
+		for _, dst := range ctx.sent {
+			msg := ctx.out[dst]
+			ctx.out[dst] = nil
+			ln := msg.Len()
+			e.stats.TotalBits += int64(ln)
+			e.stats.NodeSentBits[i] += int64(ln)
+			if ln > e.stats.MaxLinkBits {
+				e.stats.MaxLinkBits = ln
+			}
+			if cfg.CutSide != nil && cfg.CutSide[i] != cfg.CutSide[dst] {
+				e.stats.CutBits += int64(ln)
+			}
+			e.inboxes[dst][i] = msg
+			e.delivered = append(e.delivered, delivery{dst, i})
+		}
+		ctx.sent = ctx.sent[:0]
+	}
+	if sentAny {
+		e.stats.Rounds++
 	}
 }
 
@@ -248,105 +514,25 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds
 	}
-
-	ctxs := make([]*Ctx, cfg.N)
-	for i := range ctxs {
-		ctxs[i] = &Ctx{
-			id:  i,
-			cfg: &cfg,
-			rng: rand.New(rand.NewSource(cfg.Seed*1_000_000_007 + int64(i))),
-			out: make([]*bits.Buffer, cfg.N),
-		}
-	}
-
-	stats := Stats{NodeSentBits: make([]int64, cfg.N)}
-	inboxes := make([][]*bits.Buffer, cfg.N)
-	for i := range inboxes {
-		inboxes[i] = make([]*bits.Buffer, cfg.N)
-	}
-	alive := cfg.N
-	done := make([]bool, cfg.N)
-
-	for step := 0; alive > 0; step++ {
+	e := newEngine(&cfg, nodes)
+	for step := 0; len(e.live) > 0; step++ {
 		if step >= maxRounds {
 			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
 		}
-		stats.Steps = step + 1
-		// Step all live nodes on their current inboxes.
-		for i, node := range nodes {
-			if done[i] {
-				continue
-			}
-			ctx := ctxs[i]
-			ctx.round = step
-			d, err := node.Step(ctx, inboxes[i])
-			if err != nil {
-				return nil, fmt.Errorf("core: node %d failed in round %d: %w", i, step, err)
-			}
-			if d {
-				done[i] = true
-				ctx.halted = true
-				alive--
-			}
+		e.stats.Steps = step + 1
+		if err := e.step(step); err != nil {
+			return nil, err
 		}
-		// Collect and deliver.
-		for i := range inboxes {
-			for j := range inboxes[i] {
-				inboxes[i][j] = nil
-			}
-		}
-		sentAny := false
-		for i, ctx := range ctxs {
-			if ctx.bcast != nil {
-				msg := ctx.bcast
-				ctx.bcast = nil
-				sentAny = true
-				stats.TotalBits += int64(msg.Len())
-				stats.NodeSentBits[i] += int64(msg.Len())
-				if msg.Len() > stats.MaxLinkBits {
-					stats.MaxLinkBits = msg.Len()
-				}
-				if cfg.CutSide != nil {
-					// A broadcast is readable by the other side of the cut
-					// once (shared blackboard), so it contributes its length.
-					stats.CutBits += int64(msg.Len())
-				}
-				for j := range nodes {
-					if j != i {
-						inboxes[j][i] = msg
-					}
-				}
-			}
-			for dst, msg := range ctx.out {
-				if msg == nil {
-					continue
-				}
-				ctx.out[dst] = nil
-				sentAny = true
-				stats.TotalBits += int64(msg.Len())
-				stats.NodeSentBits[i] += int64(msg.Len())
-				if msg.Len() > stats.MaxLinkBits {
-					stats.MaxLinkBits = msg.Len()
-				}
-				if cfg.CutSide != nil && cfg.CutSide[i] != cfg.CutSide[dst] {
-					stats.CutBits += int64(msg.Len())
-				}
-				inboxes[dst][i] = msg
-			}
-		}
-		if sentAny {
-			stats.Rounds++
-		}
+		e.deliver()
 	}
-	for i, b := range stats.NodeSentBits {
-		if b > stats.MaxNodeBits {
-			stats.MaxNodeBits = b
+	for _, b := range e.stats.NodeSentBits {
+		if b > e.stats.MaxNodeBits {
+			e.stats.MaxNodeBits = b
 		}
-		_ = i
 	}
 	outputs := make([]interface{}, cfg.N)
-	for i, ctx := range ctxs {
+	for i, ctx := range e.ctxs {
 		outputs[i] = ctx.output
 	}
-	return &Result{Outputs: outputs, Stats: stats}, nil
+	return &Result{Outputs: outputs, Stats: e.stats}, nil
 }

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+// Engine benchmarks: the round loop itself, under the shapes that
+// dominate the experiment drivers. Each shape runs under the sequential
+// oracle (Parallelism=1) and the worker pool (Parallelism=0, i.e.
+// GOMAXPROCS workers) so the parallel speedup is a visible number;
+// b.ReportAllocs makes the zero-copy savings visible too.
+//
+// Seed-engine baselines (sequential, deep-copy delivery; this hardware,
+// 1 vCPU) for the trajectory record:
+//
+//	RunGossip/N=64            4.84ms  50269 allocs/op
+//	RunGossip/N=256          26.80ms 205212 allocs/op
+//	RunBroadcastFanout/N=64   3.79ms  82312 allocs/op
+//	RunBroadcastFanout/N=256 63.08ms 1312264 allocs/op
+
+// gossipNodes builds an N-node unicast protocol in which every node, for
+// `rounds` rounds, sends a Bandwidth-bit message to `fanout` pseudorandom
+// destinations and XOR-folds everything it receives. Per-node work is
+// independent, so it exposes the stepping overhead of the round loop.
+func gossipNodes(n, rounds, fanout int) []Node {
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NodeFunc(func(ctx *Ctx, in []*bits.Buffer) (bool, error) {
+			var acc uint64
+			for _, msg := range in {
+				if msg == nil {
+					continue
+				}
+				v, err := bits.NewReader(msg).ReadUint(32)
+				if err != nil {
+					return false, err
+				}
+				acc ^= v
+			}
+			if ctx.Round() >= rounds {
+				ctx.SetOutput(acc)
+				return true, nil
+			}
+			for k := 0; k < fanout; k++ {
+				dst := ctx.Rand().Intn(ctx.N())
+				if dst == ctx.ID() || ctx.out[dst] != nil {
+					continue // collision with an earlier draw this round
+				}
+				m := bits.New(32)
+				m.WriteUint(uint64(ctx.ID())<<16^uint64(ctx.Round()+k), 32)
+				if err := ctx.Send(dst, m); err != nil {
+					return false, err
+				}
+			}
+			return false, nil
+		})
+	}
+	return nodes
+}
+
+// bcastNodes builds an N-node unicast protocol in which every node
+// broadcasts a Bandwidth-bit message each round — the clone-heavy shape:
+// the seed engine deep-copied each broadcast N-1 times, the zero-copy
+// engine freezes it once.
+func bcastNodes(n, rounds int) []Node {
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NodeFunc(func(ctx *Ctx, in []*bits.Buffer) (bool, error) {
+			if ctx.Round() >= rounds {
+				ctx.SetOutput(ctx.Round())
+				return true, nil
+			}
+			m := bits.New(32)
+			m.WriteUint(uint64(ctx.ID())*31+uint64(ctx.Round()), 32)
+			return false, ctx.Broadcast(m)
+		})
+	}
+	return nodes
+}
+
+// engineModes pairs the sequential oracle with the worker pool.
+func engineModes() []struct {
+	name string
+	par  int
+} {
+	return []struct {
+		name string
+		par  int
+	}{
+		{"seq", 1},
+		{fmt.Sprintf("par%d", runtime.GOMAXPROCS(0)), 0},
+	}
+}
+
+func benchRun(b *testing.B, rounds int, mk func() []Node, cfg Config) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Steps < rounds {
+			b.Fatalf("short run: %d steps", res.Stats.Steps)
+		}
+	}
+}
+
+func BenchmarkRunGossip(b *testing.B) {
+	const rounds, fanout = 20, 8
+	for _, n := range []int{64, 256} {
+		for _, mode := range engineModes() {
+			cfg := Config{N: n, Bandwidth: 32, Model: Unicast, Seed: 7, Parallelism: mode.par}
+			b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
+				benchRun(b, rounds, func() []Node { return gossipNodes(n, rounds, fanout) }, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkRunBroadcastFanout measures the unicast broadcast-sugar path,
+// where zero-copy delivery replaces N-1 payload clones per broadcast.
+func BenchmarkRunBroadcastFanout(b *testing.B) {
+	const rounds = 10
+	for _, n := range []int{64, 256} {
+		for _, mode := range engineModes() {
+			cfg := Config{N: n, Bandwidth: 32, Model: Unicast, Seed: 11, Parallelism: mode.par}
+			b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
+				benchRun(b, rounds, func() []Node { return bcastNodes(n, rounds) }, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkRunProcsGossip exercises the goroutine-per-node (Proc) surface
+// on a congest ring, the third protocol family.
+func BenchmarkRunProcsGossip(b *testing.B) {
+	const rounds = 20
+	n := 64
+	topo := graph.Cycle(n)
+	for _, mode := range engineModes() {
+		cfg := Config{N: n, Bandwidth: 32, Model: Congest, Topology: topo, Seed: 13, Parallelism: mode.par}
+		b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := RunProcs(cfg, func(p *Proc) error {
+					for r := 0; r < rounds; r++ {
+						m := bits.New(32)
+						m.WriteUint(uint64(p.ID()+r), 32)
+						if err := p.Broadcast(m); err != nil {
+							return err
+						}
+						p.Next()
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,13 @@ import (
 // messages with Send/Broadcast and then calls Next, which ends the current
 // round and returns the messages received at the start of the following
 // round.
+//
+// Under the parallel engine (Config.Parallelism != 1) the bodies of
+// distinct nodes may run truly concurrently within a round, so any state
+// a body shares with other bodies outside the model's messages must be
+// read-only or synchronized (see routing.Router for the canonical
+// pattern). Received buffers are frozen views shared with other
+// recipients; treat them as read-only.
 type Proc struct {
 	ctx     *Ctx
 	inCh    chan []*bits.Buffer

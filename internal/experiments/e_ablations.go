@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matmul"
 	"repro/internal/subgraph"
@@ -105,5 +106,39 @@ func EA1Ablations(w io.Writer, quick bool) error {
 		fmt.Fprintf(w, "%10d %10d %12d %8v\n", label, res.Stats.Rounds, res.Stats.TotalBits, res.Found)
 	}
 	fmt.Fprintf(w, "(truth: %v; capped runs are one-sided)\n", truth)
+
+	// (f) Engine parallelism: the worker-pool engine must reproduce the
+	// sequential oracle bit-for-bit (DESIGN.md §3). Run the same
+	// broadcast-heavy detection under both and record the accounting.
+	fmt.Fprintf(w, "\n(f) engine parallelism oracle check (BroadcastDetect, n=48):\n")
+	// Force both engines explicitly: the worker pool must be exercised
+	// even when GOMAXPROCS=1 or the user passed -parallelism 1.
+	const ablationWorkers = 4
+	ge := graph.Gnp(48, 0.3, rng)
+	prev := core.DefaultParallelism()
+	core.SetDefaultParallelism(1)
+	seq, seqErr := triangles.BroadcastDetect(ge, 16, 29)
+	core.SetDefaultParallelism(ablationWorkers)
+	par, parErr := triangles.BroadcastDetect(ge, 16, 29)
+	core.SetDefaultParallelism(prev)
+	if seqErr != nil {
+		return seqErr
+	}
+	if parErr != nil {
+		return parErr
+	}
+	identical := seq.Found == par.Found &&
+		seq.Stats.Rounds == par.Stats.Rounds &&
+		seq.Stats.TotalBits == par.Stats.TotalBits &&
+		seq.Stats.MaxLinkBits == par.Stats.MaxLinkBits &&
+		seq.Stats.MaxNodeBits == par.Stats.MaxNodeBits
+	fmt.Fprintf(w, "%12s %8s %10s %12s\n", "engine", "found", "rounds", "totalBits")
+	fmt.Fprintf(w, "%12s %8v %10d %12d\n", "sequential", seq.Found, seq.Stats.Rounds, seq.Stats.TotalBits)
+	fmt.Fprintf(w, "%12s %8v %10d %12d\n",
+		fmt.Sprintf("%d workers", ablationWorkers), par.Found, par.Stats.Rounds, par.Stats.TotalBits)
+	if !identical {
+		return fmt.Errorf("EA1(f): parallel engine diverged from sequential oracle")
+	}
+	fmt.Fprintf(w, "(identical accounting: %v)\n", identical)
 	return nil
 }

@@ -291,6 +291,7 @@ func ExchangeUnicast(p *core.Proc, perDst []*bits.Buffer, rounds int) ([]*bits.B
 				if err := p.Send(d, chunks[d][r]); err != nil {
 					return nil, err
 				}
+				chunks[d][r].Release() // frozen delivery view keeps the bits alive
 			}
 		}
 		in := p.Next()

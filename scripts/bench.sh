@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Record the performance trajectory: run the engine and experiment
+# benchmarks with allocation stats and emit BENCH_<date>.json next to
+# the repo root. Compare files across PRs to see the trend.
+#
+#   scripts/bench.sh             # default: 3x per benchmark
+#   BENCHTIME=10x scripts/bench.sh
+#   BENCHFILTER='BenchmarkRun' scripts/bench.sh   # engine only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+date="$(date +%Y%m%d)"
+out="BENCH_${date}.json"
+benchtime="${BENCHTIME:-3x}"
+filter="${BENCHFILTER:-.}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
+  ./internal/core/ ./internal/bits/ . 2>&1 | tee "$tmp"
+
+# Convert `go test -bench` lines into a JSON array of
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+awk -v date="$date" '
+BEGIN { print "[" }
+/^Benchmark/ {
+  name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
+  for (i = 3; i <= NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (n++) printf ",\n"
+  printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s",
+         date, name, iters, ns
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
