@@ -113,6 +113,87 @@ func BenchmarkBroadcastDetect64(b *testing.B) {
 	}
 }
 
+// strassen16Trial builds the one-trial Strassen-16 triangle circuit the
+// evaluation-engine benchmarks run on (the Section 2.1 hot shape).
+func strassen16Trial(b *testing.B) (*circuit.Circuit, []bool, []uint64) {
+	b.Helper()
+	c, err := matmul.TriangleTrialCircuit(16, matmul.Strassen, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	in := make([]bool, c.NumInputs())
+	lanes := make([]uint64, c.NumInputs())
+	for i := range in {
+		in[i] = rng.Intn(2) == 1
+		lanes[i] = rng.Uint64()
+	}
+	return c, in, lanes
+}
+
+// BenchmarkCircuitEvalScalar64x is the pre-plan baseline: 64 sequential
+// scalar evaluations (one per would-be lane).
+func BenchmarkCircuitEvalScalar64x(b *testing.B) {
+	c, in, _ := strassen16Trial(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if _, err := c.EvalScalar(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCircuitEvalDense64x is 64 sequential dense-plan evaluations.
+func BenchmarkCircuitEvalDense64x(b *testing.B) {
+	c, in, _ := strassen16Trial(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if _, err := c.Eval(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCircuitEvalBatch64 evaluates the same 64 assignments in one
+// bitsliced pass — the acceptance bar is ≥ 20x BenchmarkCircuitEvalScalar64x.
+func BenchmarkCircuitEvalBatch64(b *testing.B) {
+	c, _, lanes := strassen16Trial(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EvalBatch(lanes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircuitEvalBatchPar64(b *testing.B) {
+	c, _, lanes := strassen16Trial(b)
+	plan := c.Plan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.EvalBatchParallel(lanes, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShamirBatchDetect16 runs the full batched local detector (64
+// random-diagonal trials in one pass).
+func BenchmarkShamirBatchDetect16(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	g := graph.Gnp(16, 0.3, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matmul.DetectTrianglesBatch(g, matmul.Strassen, 4, 64, 1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMatmulTriangleStrassen16(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	g := graph.Gnp(16, 0.3, rng)

@@ -21,13 +21,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID to run (E1..E12) or 'all'")
+		exp   = flag.String("exp", "all", "experiment ID to run (E1..E14, EA1) or 'all'")
 		quick = flag.Bool("quick", false, "reduced parameter sweeps")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		par   = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
+		batch = flag.Bool("batch", false, "use the 64-lane bitsliced engine for local reference evaluation")
 	)
 	flag.Parse()
 	core.SetDefaultParallelism(*par)
+	experiments.SetBatchEval(*batch)
 
 	if *list {
 		for _, e := range experiments.All {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -38,6 +39,7 @@ func main() {
 		pattern = flag.String("pattern", "C4", "pattern for detect/adaptive: K3 K4 K5 C4 C5 C6 P4 K22")
 		k       = flag.Int("k", 2, "degeneracy parameter (reconstruct)")
 		par     = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
+		batch   = flag.Bool("batch", false, "matmul: cross-check with the 64-lane bitsliced local detector")
 	)
 	flag.Parse()
 	core.SetDefaultParallelism(*par)
@@ -50,9 +52,10 @@ func main() {
 	fmt.Printf("input: %v (degeneracy %d, triangles %d)\n", g, g.Degeneracy(), g.CountTriangles())
 
 	var (
-		found bool
-		stats core.Stats
-		note  string
+		found  bool
+		stats  core.Stats
+		note   string
+		engine string // set by algorithms that run the circuit engine
 	)
 	switch *alg {
 	case "broadcast":
@@ -77,6 +80,17 @@ func main() {
 		must(err)
 		found, stats = res.Found, res.Run.Stats
 		note = fmt.Sprintf(" (§2.1 pipeline, %s circuits)", fam)
+		engine = "scalar (dense plan)"
+		if *batch {
+			rng2 := rand.New(rand.NewSource(*seed + 1))
+			workers := core.DefaultParallelism()
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			bf, err := matmul.DetectTrianglesBatch(g, fam, 8, 64, workers, rng2)
+			must(err)
+			engine = fmt.Sprintf("bitsliced EvalBatch (64 Shamir lanes/pass): found=%v, agrees=%v", bf, bf == found)
+		}
 	case "detect":
 		fam, err := familyByName(*pattern)
 		must(err)
@@ -108,6 +122,9 @@ func main() {
 	fmt.Printf("answer: %v%s\n", found, note)
 	fmt.Printf("rounds: %d\ntotal bits: %d\nmax link bits/round: %d\nmax node bits: %d\n",
 		stats.Rounds, stats.TotalBits, stats.MaxLinkBits, stats.MaxNodeBits)
+	if engine != "" {
+		fmt.Printf("local eval engine: %s\n", engine)
+	}
 }
 
 func familyByName(name string) (turan.Family, error) {

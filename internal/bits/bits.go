@@ -214,13 +214,17 @@ func (b *Buffer) Append(other *Buffer) {
 	}
 }
 
-// Slice returns the sub-buffer covering bits [from, to).
+// Slice returns the sub-buffer covering bits [from, to). The copy is
+// drawn from the package pool, so callers on hot paths may Release it
+// once the bits have been consumed.
 func (b *Buffer) Slice(from, to int) (*Buffer, error) {
 	if from < 0 || to > b.n || from > to {
 		return nil, fmt.Errorf("bits: slice [%d,%d) out of range of %d bits", from, to, b.n)
 	}
 	m := to - from
-	out := &Buffer{data: make([]byte, (m+7)/8), n: m}
+	out := Get(m)
+	out.grow((m + 7) / 8)
+	out.n = m
 	copyBits(out.data, b.data, from, m)
 	return out, nil
 }
@@ -247,6 +251,95 @@ func copyBits(dst, src []byte, from, m int) {
 	}
 	if m%8 != 0 {
 		dst[nb-1] &= byte(1<<uint(m%8)) - 1
+	}
+}
+
+// ZeroExtend grows the buffer to exactly n valid bits, padding with
+// zeros. It is the receive-side primitive for assembling a stream whose
+// total length is known up front: pre-extend, then OrRange each chunk
+// into place.
+func (b *Buffer) ZeroExtend(n int) {
+	if n <= b.n {
+		return
+	}
+	b.beforeWrite()
+	b.n = n
+	b.grow((n + 7) / 8)
+}
+
+// byteAt gathers up to `width` (≤ 8) bits of src starting at bit offset
+// `from` into the low bits of a byte.
+func byteAt(src []byte, from, width int) byte {
+	i, s := from>>3, uint(from&7)
+	v := src[i] >> s
+	if s != 0 && i+1 < len(src) {
+		v |= src[i+1] << (8 - s)
+	}
+	if width < 8 {
+		v &= byte(1<<uint(width)) - 1
+	}
+	return v
+}
+
+// AppendRange appends bits [from, to) of src onto b — Append for a
+// sub-range, without materialising an intermediate buffer. The copy runs
+// a byte at a time.
+func (b *Buffer) AppendRange(src *Buffer, from, to int) error {
+	if from < 0 || to > src.n || from > to {
+		return fmt.Errorf("bits: append range [%d,%d) out of range of %d bits", from, to, src.n)
+	}
+	m := to - from
+	if m == 0 {
+		return nil
+	}
+	b.beforeWrite()
+	at := b.n
+	b.n += m
+	b.grow((b.n + 7) / 8)
+	orBits(b.data, at, src.data, from, m)
+	return nil
+}
+
+// OrRange ORs bits [from, to) of src into b at bit offset `at`, which
+// must lie within b's valid range (see ZeroExtend). Bits already set in b
+// stay set.
+func (b *Buffer) OrRange(src *Buffer, from, to, at int) error {
+	if from < 0 || to > src.n || from > to {
+		return fmt.Errorf("bits: or range [%d,%d) out of range of %d bits", from, to, src.n)
+	}
+	m := to - from
+	if at < 0 || at+m > b.n {
+		return fmt.Errorf("bits: or range of %d bits at %d out of range of %d bits", m, at, b.n)
+	}
+	if m == 0 {
+		return nil
+	}
+	b.beforeWrite()
+	orBits(b.data, at, src.data, from, m)
+	return nil
+}
+
+// orBits ORs m bits of src starting at bit `from` into dst starting at
+// bit `at`, a byte at a time.
+func orBits(dst []byte, at int, src []byte, from, m int) {
+	nb := (m + 7) / 8
+	for k := 0; k < nb; k++ {
+		width := m - 8*k
+		if width > 8 {
+			width = 8
+		}
+		v := byteAt(src, from+8*k, width)
+		if v == 0 {
+			continue
+		}
+		pos := at + 8*k
+		i, s := pos>>3, uint(pos&7)
+		dst[i] |= v << s
+		if s != 0 {
+			if hi := v >> (8 - s); hi != 0 {
+				dst[i+1] |= hi
+			}
+		}
 	}
 }
 
@@ -339,13 +432,41 @@ type Reader struct {
 	pos int
 }
 
+// emptyBuf backs readers over nil buffers; it is never written.
+var emptyBuf = &Buffer{frozen: true}
+
+// readerPool recycles Reader structs handed back via Reader.Release.
+var readerPool = sync.Pool{New: func() interface{} { return new(Reader) }}
+
 // NewReader returns a reader positioned at the start of buf. Reading does
-// not modify buf.
+// not modify buf. Readers are drawn from a pool; hot paths may hand them
+// back (together with the buffer) via Release.
 func NewReader(buf *Buffer) *Reader {
 	if buf == nil {
-		buf = &Buffer{}
+		buf = emptyBuf
 	}
-	return &Reader{buf: buf}
+	r := readerPool.Get().(*Reader)
+	r.buf, r.pos = buf, 0
+	return r
+}
+
+// Reset repoints the reader at the start of buf, allowing a stack- or
+// struct-resident Reader value to be reused without allocation.
+func (r *Reader) Reset(buf *Buffer) {
+	if buf == nil {
+		buf = emptyBuf
+	}
+	r.buf, r.pos = buf, 0
+}
+
+// Release returns the reader and its underlying buffer to their pools.
+// The caller promises not to read from r (or touch the buffer) again.
+func (r *Reader) Release() {
+	b := r.buf
+	r.buf = emptyBuf
+	r.pos = 0
+	b.Release()
+	readerPool.Put(r)
 }
 
 // Remaining reports how many unread bits remain.
@@ -411,6 +532,13 @@ func (r *Reader) ReadBool() (bool, error) {
 	v, err := r.ReadBit()
 	return v != 0, err
 }
+
+// BitsetGet reads bit i of a flat []uint64 bitset (bit i lives in word
+// i>>6). Shared by the dense gate-value stores of circuit and circsim.
+func BitsetGet(s []uint64, i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// BitsetSet sets bit i of a flat []uint64 bitset.
+func BitsetSet(s []uint64, i int) { s[i>>6] |= 1 << uint(i&63) }
 
 // UintWidth returns the number of bits needed to represent any value in
 // [0, maxVal], i.e. ceil(log2(maxVal+1)), and at least 1.

@@ -25,7 +25,6 @@
 package circsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -52,6 +51,8 @@ type Plan struct {
 	Heavy  []bool  // gate -> heavy?
 
 	layers   [][]int32 // stage r -> gate ids in layer r (r = 0..Depth)
+	heavyIdx []int32   // gate -> heavy ordinal (dense), -1 if light
+	numHeavy int       // number of heavy gates
 	sepMax   int       // max separability width over all gates
 	inOwner  []int32   // input position -> original holder
 	maxDir   []int     // stage -> max direct (a)+(b) bits on any link
@@ -112,12 +113,15 @@ func (p *Plan) assignGates() error {
 
 	p.Assign = make([]int32, g)
 	p.Heavy = make([]bool, g)
+	p.heavyIdx = make([]int32, g)
 
 	nextHeavyOwner := 0
 	for id := 0; id < g; id++ {
+		p.heavyIdx[id] = -1
 		w := c.FanIn(id) + c.FanOut(id)
 		if w >= heavyThresh {
 			p.Heavy[id] = true
+			p.heavyIdx[id] = int32(nextHeavyOwner)
 			if nextHeavyOwner >= n {
 				return fmt.Errorf("%w: heavy gate %d has no free player", ErrTooManyHeavy, id)
 			}
@@ -125,25 +129,24 @@ func (p *Plan) assignGates() error {
 			nextHeavyOwner++
 		}
 	}
+	p.numHeavy = nextHeavyOwner
 	// Pack light gates least-loaded-first; the cap 4n·s can never be hit
 	// while total light weight is at most 2n²·s (see package comment).
 	lh := make(loadHeap, n)
 	for i := 0; i < n; i++ {
 		lh[i] = playerLoad{player: i}
 	}
-	heap.Init(&lh)
 	for id := 0; id < g; id++ {
 		if p.Heavy[id] {
 			continue
 		}
 		w := c.FanIn(id) + c.FanOut(id)
-		pl := heap.Pop(&lh).(playerLoad)
-		if pl.load+int64(w) > int64(lightCap) {
+		if lh[0].load+int64(w) > int64(lightCap) {
 			return fmt.Errorf("%w: gate %d of weight %d", ErrOverflow, id, w)
 		}
-		p.Assign[id] = int32(pl.player)
-		pl.load += int64(w)
-		heap.Push(&lh, pl)
+		p.Assign[id] = int32(lh[0].player)
+		lh[0].load += int64(w)
+		lh.siftDown(0)
 	}
 	for id := 0; id < g; id++ {
 		if w := c.SeparabilityWidth(id); w > p.sepMax {
@@ -271,7 +274,10 @@ func (p *Plan) LightWeightCap() int { return 4 * p.N * p.S }
 // HeavyThreshold returns the heaviness threshold 2n·s.
 func (p *Plan) HeavyThreshold() int { return 2 * p.N * p.S }
 
-// loadHeap is a min-heap of player light loads.
+// loadHeap is a fixed-size min-heap of player light loads, ordered by
+// (load, player). The root is updated in place and sifted down, which
+// avoids the interface boxing of container/heap on the per-gate path.
+// The initial state (all loads zero, players ascending) is a valid heap.
 type playerLoad struct {
 	player int
 	load   int64
@@ -279,21 +285,29 @@ type playerLoad struct {
 
 type loadHeap []playerLoad
 
-func (h loadHeap) Len() int { return len(h) }
-func (h loadHeap) Less(i, j int) bool {
+func (h loadHeap) less(i, j int) bool {
 	if h[i].load != h[j].load {
 		return h[i].load < h[j].load
 	}
 	return h[i].player < h[j].player
 }
-func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(playerLoad)) }
-func (h *loadHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h loadHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // chunkIdxWidth returns the header width for chunk indices when a string

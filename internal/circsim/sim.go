@@ -2,13 +2,103 @@ package circsim
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
-	"repro/internal/bits"
+	xbits "repro/internal/bits"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/routing"
 )
+
+// simState is one player's dense evaluation state for a Simulate run: flat
+// bitsets replace the per-gate maps of the pre-plan implementation, and
+// the scratch slices are reused across stages so the steady-state protocol
+// allocates per message, not per gate.
+type simState struct {
+	val     []uint64 // bit g = value of gate g (dense, shared with circuit.EvalGateBits)
+	known   []uint64 // bit g = gate g's value has been learned
+	sent    []uint64 // bit heavyIdx*n+dst = heavy value already forwarded there
+	recvd   []uint64 // bit heavyIdx = heavy value already learned
+	contrib []uint64 // scratch bitset over players (ascending iteration = sorted)
+	part    []bool   // scratch partial-input slice, cap >= max fan-in
+	parts   []uint64 // scratch partial-digest slice
+	perDst  []*xbits.Buffer
+	expect  []int // scratch expected-bits-per-source, len n
+
+	// Routing scratch reused across stages (stage-scoped lifetimes).
+	msgs    []routing.Msg
+	whole   []*xbits.Buffer
+	gotBits []int
+	readers []*xbits.Reader // routeBitStrings results
+	dirRead []*xbits.Reader // stageDirect results
+	seen    []uint64        // per-(source, chunk index) duplicate mask
+}
+
+func newSimState(plan *Plan) *simState {
+	g := plan.Circ.NumGates()
+	words := (g + 63) / 64
+	return &simState{
+		val:     make([]uint64, words),
+		known:   make([]uint64, words),
+		sent:    make([]uint64, (plan.numHeavy*plan.N+63)/64),
+		recvd:   make([]uint64, (plan.numHeavy+63)/64),
+		contrib: make([]uint64, (plan.N+63)/64),
+		part:    make([]bool, 0, plan.Circ.Plan().MaxFanIn()),
+		perDst:  make([]*xbits.Buffer, plan.N),
+		expect:  make([]int, plan.N),
+		whole:   make([]*xbits.Buffer, plan.N),
+		gotBits: make([]int, plan.N),
+		readers: make([]*xbits.Reader, plan.N),
+		dirRead: make([]*xbits.Reader, plan.N),
+	}
+}
+
+// resetExpect zeroes the expected-bits scratch.
+func (st *simState) resetExpect() {
+	for i := range st.expect {
+		st.expect[i] = 0
+	}
+}
+
+func bsGet(bs []uint64, i int32) bool { return xbits.BitsetGet(bs, int(i)) }
+func bsSet(bs []uint64, i int32)      { xbits.BitsetSet(bs, int(i)) }
+
+// releaseReaders returns the reassembled stream buffers to the bits pool
+// once a stage has consumed them.
+func releaseReaders(readers []*xbits.Reader) {
+	for _, r := range readers {
+		if r != nil {
+			r.Release()
+		}
+	}
+}
+
+// setVal records gate g's value.
+func (st *simState) setVal(g int32, v bool) {
+	bsSet(st.known, g)
+	if v {
+		bsSet(st.val, g)
+	}
+}
+
+// getBuf returns the pooled staging buffer for destination q.
+func (st *simState) getBuf(q int) *xbits.Buffer {
+	if st.perDst[q] == nil {
+		st.perDst[q] = xbits.Get(64)
+	}
+	return st.perDst[q]
+}
+
+// releaseBufs returns all staged per-destination buffers to the pool (the
+// frozen delivery views keep any in-flight bits alive).
+func (st *simState) releaseBufs() {
+	for q, b := range st.perDst {
+		if b != nil {
+			b.Release()
+			st.perDst[q] = nil
+		}
+	}
+}
 
 // Simulate executes the Theorem 2 protocol for one player. myInputs holds
 // the values of the input positions this player initially owns (in
@@ -23,7 +113,7 @@ func Simulate(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool) (ma
 	if n != p.N() {
 		return nil, fmt.Errorf("circsim: plan for %d players run on %d", n, p.N())
 	}
-	val := make(map[int32]bool)
+	st := newSimState(plan)
 
 	// Constants are known to their owners from the start.
 	for id := 0; id < c.NumGates(); id++ {
@@ -32,24 +122,21 @@ func Simulate(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool) (ma
 		}
 		switch c.Kind(id) {
 		case circuit.Const0:
-			val[int32(id)] = false
+			st.setVal(int32(id), false)
 		case circuit.Const1:
-			val[int32(id)] = true
+			st.setVal(int32(id), true)
 		}
 	}
 
-	if err := distributeInputs(p, plan, rt, myInputs, val); err != nil {
+	if err := distributeInputs(p, plan, rt, myInputs, st); err != nil {
 		return nil, err
 	}
 
-	sentHeavy := make(map[int64]bool) // (gate*n + dst) forwarded already
-	recvHeavy := make(map[int32]bool) // heavy gate value already learned
-
 	for r := 1; r <= c.Depth(); r++ {
-		if err := stageDirect(p, plan, r, val, sentHeavy, recvHeavy); err != nil {
+		if err := stageDirect(p, plan, r, st); err != nil {
 			return nil, fmt.Errorf("circsim: stage %d direct: %w", r, err)
 		}
-		if err := stageLight(p, plan, rt, r, val); err != nil {
+		if err := stageLight(p, plan, rt, r, st); err != nil {
 			return nil, fmt.Errorf("circsim: stage %d light: %w", r, err)
 		}
 	}
@@ -57,11 +144,10 @@ func Simulate(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool) (ma
 	out := make(map[int]bool)
 	for pos, g := range c.Outputs() {
 		if int(plan.Assign[g]) == me {
-			v, ok := val[g]
-			if !ok {
+			if !bsGet(st.known, g) {
 				return nil, fmt.Errorf("circsim: output gate %d never evaluated", g)
 			}
-			out[pos] = v
+			out[pos] = bsGet(st.val, g)
 		}
 	}
 	return out, nil
@@ -69,10 +155,9 @@ func Simulate(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool) (ma
 
 // distributeInputs routes externally-held input bits to the owners of the
 // input gates (the balanced-input remark of Theorem 2).
-func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool, val map[int32]bool) error {
+func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []bool, st *simState) error {
 	c, me := plan.Circ, p.ID()
-	perDst := make(map[int]*bits.Buffer)
-	expect := make(map[int]int)
+	st.resetExpect()
 	k := 0
 	for i := 0; i < c.NumInputs(); i++ {
 		gate := int32(c.InputGate(i))
@@ -85,29 +170,27 @@ func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []b
 			v := myInputs[k]
 			k++
 			if owner == me {
-				val[gate] = v
+				st.setVal(gate, v)
 			} else {
-				buf := perDst[owner]
-				if buf == nil {
-					buf = bits.New(0)
-					perDst[owner] = buf
-				}
-				buf.WriteBool(v)
+				st.getBuf(owner).WriteBool(v)
 			}
 		} else if owner == me {
-			expect[holder]++
+			st.expect[holder]++
 		}
 	}
 	if k != len(myInputs) {
 		return fmt.Errorf("%w: player %d given %d inputs, owns %d", ErrBadInput, me, len(myInputs), k)
 	}
 	if plan.maxInput == 0 {
+		st.releaseBufs()
 		return nil // all inputs are already local at their owners
 	}
-	readers, err := routeBitStrings(p, rt, perDst, expect, plan.S, plan.maxInput)
+	readers, err := routeBitStrings(p, rt, st, st.perDst, st.expect, plan.S, plan.maxInput)
+	st.releaseBufs()
 	if err != nil {
 		return err
 	}
+	defer releaseReaders(readers)
 	for i := 0; i < c.NumInputs(); i++ {
 		gate := int32(c.InputGate(i))
 		holder := int(plan.inOwner[i])
@@ -123,7 +206,7 @@ func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []b
 		if err != nil {
 			return fmt.Errorf("circsim: short input stream from %d: %w", holder, err)
 		}
-		val[gate] = v
+		st.setVal(gate, v)
 	}
 	return nil
 }
@@ -132,17 +215,8 @@ func distributeInputs(p *core.Proc, plan *Plan, rt *routing.Router, myInputs []b
 // digests into heavy gates, and one-shot forwarding of heavy values to
 // light consumers. Sender and receiver walk the identical enumeration, so
 // the wire carries no identifiers.
-func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
-	sentHeavy map[int64]bool, recvHeavy map[int32]bool) error {
+func stageDirect(p *core.Proc, plan *Plan, r int, st *simState) error {
 	c, n, me := plan.Circ, plan.N, p.ID()
-
-	perDst := make([]*bits.Buffer, n)
-	buf := func(q int) *bits.Buffer {
-		if perDst[q] == nil {
-			perDst[q] = bits.New(0)
-		}
-		return perDst[q]
-	}
 
 	// (a) sender side: partial digests for heavy gates of this layer.
 	for _, id := range plan.layers[r] {
@@ -153,10 +227,10 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 		if q == me {
 			continue
 		}
-		var part []bool
+		part := st.part[:0]
 		for _, w := range c.Inputs(int(id)) {
 			if int(plan.Assign[w]) == me {
-				part = append(part, val[w])
+				part = append(part, bsGet(st.val, w))
 			}
 		}
 		if len(part) == 0 {
@@ -166,7 +240,7 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 		if err != nil {
 			return err
 		}
-		buf(q).WriteUint(digest, c.SeparabilityWidth(int(id)))
+		st.getBuf(q).WriteUint(digest, c.SeparabilityWidth(int(id)))
 	}
 	// (b) sender side: heavy values consumed by light gates, deduplicated
 	// per destination.
@@ -182,30 +256,34 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 			if !plan.Heavy[w] || int(plan.Assign[w]) != me {
 				continue
 			}
-			key := int64(w)*int64(n) + int64(q)
-			if sentHeavy[key] {
+			key := plan.heavyIdx[w]*int32(n) + int32(q)
+			if bsGet(st.sent, key) {
 				continue
 			}
-			sentHeavy[key] = true
-			buf(q).WriteBool(val[w])
+			bsSet(st.sent, key)
+			st.getBuf(q).WriteBool(bsGet(st.val, w))
 		}
 	}
 
-	var readers []*bits.Reader
+	readers := st.dirRead
+	for i := range readers {
+		readers[i] = nil
+	}
 	if plan.maxDir[r] > 0 {
 		rounds := core.ChunkRounds(plan.maxDir[r], p.Bandwidth())
-		got, err := routing.ExchangeUnicast(p, perDst, rounds)
+		got, err := routing.ExchangeUnicast(p, st.perDst, rounds)
+		st.releaseBufs()
 		if err != nil {
 			return err
 		}
-		readers = make([]*bits.Reader, n)
 		for src, b := range got {
 			if b != nil {
-				readers[src] = bits.NewReader(b)
+				readers[src] = xbits.NewReader(b)
 			}
 		}
+		defer releaseReaders(readers)
 	} else {
-		readers = make([]*bits.Reader, n)
+		st.releaseBufs()
 	}
 
 	// (a) receiver side: combine partials for my heavy gates.
@@ -216,18 +294,21 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 		width := c.SeparabilityWidth(int(id))
 		// Contributors in ascending player order; each link's buffer is
 		// parsed in gate order, which is consistent because a player owns
-		// at most one heavy gate.
-		contrib := make(map[int]bool)
-		var ownPart []bool
+		// at most one heavy gate. The contributor set lives in a player
+		// bitset, whose word walk yields ascending order for free.
+		for i := range st.contrib {
+			st.contrib[i] = 0
+		}
+		ownPart := st.part[:0]
 		for _, w := range c.Inputs(int(id)) {
-			src := int(plan.Assign[w])
-			if src == me {
-				ownPart = append(ownPart, val[w])
+			src := plan.Assign[w]
+			if int(src) == me {
+				ownPart = append(ownPart, bsGet(st.val, w))
 			} else {
-				contrib[src] = true
+				bsSet(st.contrib, src)
 			}
 		}
-		var partials []uint64
+		partials := st.parts[:0]
 		if len(ownPart) > 0 {
 			d, err := c.Partial(int(id), ownPart)
 			if err != nil {
@@ -235,26 +316,26 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 			}
 			partials = append(partials, d)
 		}
-		srcs := make([]int, 0, len(contrib))
-		for s := range contrib {
-			srcs = append(srcs, s)
-		}
-		sort.Ints(srcs)
-		for _, src := range srcs {
-			if readers[src] == nil {
-				return fmt.Errorf("circsim: heavy gate %d missing partial from %d", id, src)
+		for wd, word := range st.contrib {
+			for word != 0 {
+				src := wd*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if readers[src] == nil {
+					return fmt.Errorf("circsim: heavy gate %d missing partial from %d", id, src)
+				}
+				d, err := readers[src].ReadUint(width)
+				if err != nil {
+					return fmt.Errorf("circsim: short partial from %d: %w", src, err)
+				}
+				partials = append(partials, d)
 			}
-			d, err := readers[src].ReadUint(width)
-			if err != nil {
-				return fmt.Errorf("circsim: short partial from %d: %w", src, err)
-			}
-			partials = append(partials, d)
 		}
+		st.parts = partials[:0]
 		v, err := c.Combine(int(id), partials)
 		if err != nil {
 			return err
 		}
-		val[id] = v
+		st.setVal(id, v)
 	}
 	// (b) receiver side: learn heavy values feeding my light gates.
 	for _, id := range plan.layers[r] {
@@ -263,7 +344,7 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 		}
 		for _, w := range c.Inputs(int(id)) {
 			src := int(plan.Assign[w])
-			if !plan.Heavy[w] || src == me || recvHeavy[w] {
+			if !plan.Heavy[w] || src == me || bsGet(st.recvd, plan.heavyIdx[w]) {
 				continue
 			}
 			if readers[src] == nil {
@@ -273,8 +354,8 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 			if err != nil {
 				return fmt.Errorf("circsim: short heavy value from %d: %w", src, err)
 			}
-			val[w] = v
-			recvHeavy[w] = true
+			st.setVal(w, v)
+			bsSet(st.recvd, plan.heavyIdx[w])
 		}
 	}
 	return nil
@@ -282,13 +363,12 @@ func stageDirect(p *core.Proc, plan *Plan, r int, val map[int32]bool,
 
 // stageLight performs case (c): light-to-light wire values, shipped as a
 // Lenzen-balanced demand in s-bit bundles, then evaluates this player's
-// light gates of the layer.
-func stageLight(p *core.Proc, plan *Plan, rt *routing.Router, r int, val map[int32]bool) error {
+// light gates of the layer on the dense bitset.
+func stageLight(p *core.Proc, plan *Plan, rt *routing.Router, r int, st *simState) error {
 	c, me := plan.Circ, p.ID()
 
 	if plan.hasLight[r] {
-		perDst := make(map[int]*bits.Buffer)
-		expect := make(map[int]int)
+		st.resetExpect()
 		for _, id := range plan.layers[r] {
 			if plan.Heavy[id] {
 				continue
@@ -301,21 +381,18 @@ func stageLight(p *core.Proc, plan *Plan, rt *routing.Router, r int, val map[int
 				src := int(plan.Assign[w])
 				switch {
 				case src == me && q != me:
-					buf := perDst[q]
-					if buf == nil {
-						buf = bits.New(0)
-						perDst[q] = buf
-					}
-					buf.WriteBool(val[w])
+					st.getBuf(q).WriteBool(bsGet(st.val, w))
 				case q == me && src != me:
-					expect[src]++
+					st.expect[src]++
 				}
 			}
 		}
-		readers, err := routeBitStrings(p, rt, perDst, expect, plan.S, plan.maxLight[r])
+		readers, err := routeBitStrings(p, rt, st, st.perDst, st.expect, plan.S, plan.maxLight[r])
+		st.releaseBufs()
 		if err != nil {
 			return err
 		}
+		defer releaseReaders(readers)
 		for _, id := range plan.layers[r] {
 			if plan.Heavy[id] || int(plan.Assign[id]) != me {
 				continue
@@ -336,96 +413,131 @@ func stageLight(p *core.Proc, plan *Plan, rt *routing.Router, r int, val map[int
 				if err != nil {
 					return fmt.Errorf("circsim: short light stream from %d: %w", src, err)
 				}
-				val[w] = v
+				st.setVal(w, v)
 			}
 		}
 	}
 
-	// Evaluate my light gates of this layer.
+	// Evaluate my light gates of this layer straight off the dense bitset.
 	for _, id := range plan.layers[r] {
 		if plan.Heavy[id] || int(plan.Assign[id]) != me {
 			continue
 		}
-		ws := c.Inputs(int(id))
-		part := make([]bool, len(ws))
-		for i, w := range ws {
-			v, ok := val[w]
-			if !ok {
+		for _, w := range c.Inputs(int(id)) {
+			if !bsGet(st.known, w) {
 				return fmt.Errorf("circsim: gate %d input %d unknown at player %d", id, w, me)
 			}
-			part[i] = v
 		}
-		digest, err := c.Partial(int(id), part)
-		if err != nil {
-			return err
-		}
-		v, err := c.Combine(int(id), []uint64{digest})
-		if err != nil {
-			return err
-		}
-		val[id] = v
+		st.setVal(id, c.EvalGateBits(int(id), st.val))
 	}
 	return nil
 }
 
 // routeBitStrings ships one logical bit string per destination through the
 // balanced router, cutting each into unit-bit chunks tagged with a chunk
-// index. expect gives the number of bits this player must receive from
-// each source; maxPair is the globally agreed maximum string length, which
-// fixes the chunk-index width. It returns one reader per source.
-func routeBitStrings(p *core.Proc, rt *routing.Router, perDst map[int]*bits.Buffer,
-	expect map[int]int, unit, maxPair int) (map[int]*bits.Reader, error) {
+// index. perDst[d] (nil = nothing) is the string for player d; expect[s]
+// gives the number of bits this player must receive from source s; maxPair
+// is the globally agreed maximum string length, which fixes the chunk-index
+// width. It returns one reader per source (nil where nothing was due). The
+// chunk payloads are pooled: they are released once routed (the router
+// copies payload bits into its relay frames), and the returned readers
+// should be handed back via releaseReaders once the stage has consumed
+// them.
+func routeBitStrings(p *core.Proc, rt *routing.Router, st *simState, perDst []*xbits.Buffer,
+	expect []int, unit, maxPair int) ([]*xbits.Reader, error) {
 	idxW := chunkIdxWidth(maxPair, unit)
-	var msgs []routing.Msg
-	dsts := make([]int, 0, len(perDst))
-	for d := range perDst {
-		dsts = append(dsts, d)
-	}
-	sort.Ints(dsts)
-	for _, d := range dsts {
-		for i, ch := range perDst[d].Chunks(unit) {
-			payload := bits.New(idxW + ch.Len())
+	msgs := st.msgs[:0]
+	for d, buf := range perDst {
+		// The release discipline below assumes no self-addressed streams
+		// (Route hands those back with the ORIGINAL payload, which would
+		// then be double-released); the protocol never needs one.
+		if d == p.ID() && buf.Len() > 0 {
+			return nil, fmt.Errorf("circsim: self-addressed stream staged by %d", d)
+		}
+		for i, off := 0, 0; off < buf.Len(); i, off = i+1, off+unit {
+			end := off + unit
+			if end > buf.Len() {
+				end = buf.Len()
+			}
+			payload := xbits.Get(idxW + (end - off))
 			payload.WriteUint(uint64(i), idxW)
-			payload.Append(ch)
+			if err := payload.AppendRange(buf, off, end); err != nil {
+				return nil, err
+			}
 			msgs = append(msgs, routing.Msg{Src: p.ID(), Dst: d, Payload: payload})
 		}
 	}
 	recv, err := rt.Route(p, msgs, idxW+unit)
+	for _, m := range msgs {
+		m.Payload.Release()
+	}
+	st.msgs = msgs[:0]
 	if err != nil {
 		return nil, err
 	}
-	type piece struct {
-		idx int
-		buf *bits.Buffer
+	// Reassemble in place: the stream length per source is agreed up
+	// front (expect), so each chunk is OR-ed straight into its slot at
+	// idx*unit — no per-chunk buffers, no sort. A per-(source, index)
+	// bitmask rejects duplicated chunks, so together with the total-bit
+	// check every missing/duplicated index is caught.
+	n := p.N()
+	cw := ((maxPair+unit-1)/unit + 63) / 64 // chunk-mask words per source
+	if cap(st.seen) < n*cw {
+		st.seen = make([]uint64, n*cw)
 	}
-	bySrc := make(map[int][]piece)
+	seen := st.seen[:n*cw]
+	for i := range seen {
+		seen[i] = 0
+	}
+	whole := st.whole
+	gotBits := st.gotBits
+	for i := range whole {
+		whole[i] = nil
+		gotBits[i] = 0
+	}
+	var rd xbits.Reader
 	for _, m := range recv {
-		rd := bits.NewReader(m.Payload)
+		rd.Reset(m.Payload)
 		idx, err := rd.ReadUint(idxW)
 		if err != nil {
 			return nil, fmt.Errorf("circsim: bad chunk header: %w", err)
 		}
-		body, err := m.Payload.Slice(idxW, m.Payload.Len())
-		if err != nil {
+		body := m.Payload.Len() - idxW
+		at := int(idx) * unit
+		if at+body > expect[m.Src] {
+			return nil, fmt.Errorf("circsim: stream from %d overflows: chunk %d of %d bits, want %d total",
+				m.Src, idx, body, expect[m.Src])
+		}
+		slot, bit := m.Src*cw+int(idx>>6), uint64(1)<<uint(idx&63)
+		if seen[slot]&bit != 0 {
+			return nil, fmt.Errorf("circsim: duplicate chunk %d from %d", idx, m.Src)
+		}
+		seen[slot] |= bit
+		w := whole[m.Src]
+		if w == nil {
+			w = xbits.Get(expect[m.Src])
+			w.ZeroExtend(expect[m.Src])
+			whole[m.Src] = w
+		}
+		if err := w.OrRange(m.Payload, idxW, m.Payload.Len(), at); err != nil {
 			return nil, err
 		}
-		bySrc[m.Src] = append(bySrc[m.Src], piece{idx: int(idx), buf: body})
+		gotBits[m.Src] += body
+		m.Payload.Release()
 	}
-	out := make(map[int]*bits.Reader, len(bySrc))
-	for src, pieces := range bySrc {
-		sort.Slice(pieces, func(i, j int) bool { return pieces[i].idx < pieces[j].idx })
-		whole := bits.New(0)
-		for i, pc := range pieces {
-			if pc.idx != i {
-				return nil, fmt.Errorf("circsim: chunk %d missing from %d", i, src)
-			}
-			whole.Append(pc.buf)
+	out := st.readers
+	for i := range out {
+		out[i] = nil
+	}
+	for src, w := range whole {
+		if w == nil {
+			continue
 		}
-		if whole.Len() != expect[src] {
+		if gotBits[src] != expect[src] {
 			return nil, fmt.Errorf("circsim: stream from %d has %d bits, want %d",
-				src, whole.Len(), expect[src])
+				src, gotBits[src], expect[src])
 		}
-		out[src] = bits.NewReader(whole)
+		out[src] = xbits.NewReader(w)
 	}
 	for src, want := range expect {
 		if want > 0 && out[src] == nil {

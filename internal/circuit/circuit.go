@@ -80,6 +80,7 @@ type Circuit struct {
 	depth   int
 	outputs []int32
 	inputs  []int32 // gate id of the i-th input
+	plan    *EvalPlan
 }
 
 // NumGates reports the total gate count (inputs and constants included).
@@ -122,8 +123,24 @@ func (c *Circuit) Wires() int64 { return int64(len(c.inList)) }
 
 // Eval evaluates the circuit directly on the given input assignment and
 // returns the output bits in the order the outputs were designated. It is
-// the reference against which the clique simulation is checked.
+// the reference against which the clique simulation is checked. It runs on
+// the compiled dense plan (see EvalPlan): a flat bitset of gate values and
+// no per-gate allocation.
 func (c *Circuit) Eval(in []bool) ([]bool, error) {
+	return c.plan.Eval(in)
+}
+
+// EvalBatch evaluates 64 input assignments in one bitsliced pass; see
+// EvalPlan.EvalBatch for the lane layout.
+func (c *Circuit) EvalBatch(in []uint64) ([]uint64, error) {
+	return c.plan.EvalBatch(in)
+}
+
+// EvalScalar is the pre-plan reference evaluator: gate at a time through
+// Partial and Combine, with per-gate scratch. It is kept as the
+// independent oracle the dense and bitsliced engines are differenced
+// against (and as the "scalar" leg of the E14 ablation).
+func (c *Circuit) EvalScalar(in []bool) ([]bool, error) {
 	if len(in) != c.NumInputs() {
 		return nil, fmt.Errorf("circuit: %d input bits for %d inputs", len(in), c.NumInputs())
 	}
@@ -131,6 +148,7 @@ func (c *Circuit) Eval(in []bool) ([]bool, error) {
 	for i, g := range c.inputs {
 		val[g] = in[i]
 	}
+	scratch := make([]bool, c.plan.maxFanIn) // one scratch sized to max fan-in
 	for g := 0; g < c.NumGates(); g++ {
 		switch c.kind[g] {
 		case Input:
@@ -141,7 +159,7 @@ func (c *Circuit) Eval(in []bool) ([]bool, error) {
 			val[g] = true
 		default:
 			ws := c.Inputs(g)
-			part := make([]bool, len(ws))
+			part := scratch[:len(ws)]
 			for i, w := range ws {
 				part[i] = val[w]
 			}
@@ -348,6 +366,35 @@ func (b *Builder) Gate(kind Kind, param int, wires ...int) int {
 	return b.add(kind, int32(param), wires)
 }
 
+// Gate2 appends a two-input gate, bypassing Gate's varargs slice — the
+// hot path of the matmul circuit generators, which emit millions of
+// two-wire AND/XOR gates.
+func (b *Builder) Gate2(kind Kind, param, w0, w1 int) int {
+	switch kind {
+	case And, Or, Xor:
+	case Mod:
+		if param < 2 {
+			b.fail(fmt.Errorf("%w: MOD_%d", ErrBadGate, param))
+		}
+	case Threshold:
+		if param < 1 || param > 2 {
+			b.fail(fmt.Errorf("%w: THR_%d over 2 wires", ErrBadGate, param))
+		}
+	default:
+		b.fail(fmt.Errorf("%w: kind %v not constructible via Gate2", ErrBadGate, kind))
+	}
+	id := len(b.c.kind)
+	if w0 < 0 || w0 >= id || w1 < 0 || w1 >= id {
+		b.fail(fmt.Errorf("%w: gate %d references %d,%d", ErrBadWire, id, w0, w1))
+		return id
+	}
+	b.c.kind = append(b.c.kind, kind)
+	b.c.param = append(b.c.param, int32(param))
+	b.c.inList = append(b.c.inList, int32(w0), int32(w1))
+	b.c.inStart = append(b.c.inStart, int32(len(b.c.inList)))
+	return id
+}
+
 // Output designates gate id as the next output of the circuit.
 func (b *Builder) Output(id int) {
 	if id < 0 || id >= len(b.c.kind) {
@@ -382,6 +429,7 @@ func (b *Builder) Build() (*Circuit, error) {
 			c.depth = int(l)
 		}
 	}
+	c.plan = compilePlan(&c)
 	return &c, nil
 }
 

@@ -1,0 +1,402 @@
+package circuit
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bits"
+)
+
+// EvalPlan is the compiled, levelized evaluation plan of a frozen circuit:
+// the word-parallel engine behind Eval and EvalBatch. It is built once by
+// Builder.Build and shared by all evaluations of the circuit.
+//
+// Two dense layouts are used, both indexed by gate id with zero per-gate
+// allocation:
+//
+//   - scalar: one bit per gate in a flat []uint64 bitset — Eval walks the
+//     gates in id order (ids are topologically sorted by construction) and
+//     reads input bits straight out of the bitset.
+//   - bitsliced: one uint64 word per gate, bit t of the word holding the
+//     gate's value under input vector t — EvalBatch evaluates 64 input
+//     assignments per pass. AND/OR/XOR/NOT are single word ops per wire;
+//     MOD and Threshold gates accumulate a carry-save popcount counter
+//     (counter bit k of every lane lives in one word) and then compare or
+//     reduce it without leaving word-parallel form whenever they can.
+//
+// Value storage is pooled (sync.Pool), so steady-state evaluation performs
+// O(1) allocations per call regardless of circuit size.
+type EvalPlan struct {
+	c        *Circuit
+	levels   [][]int32 // level l -> gate ids with Layer == l (l >= 1)
+	maxFanIn int
+	words    int // scalar bitset length in words
+
+	scalarPool sync.Pool // *[]uint64, len == words
+	lanePool   sync.Pool // *[]uint64, len == NumGates
+}
+
+// compilePlan builds the plan for a frozen circuit. Called by Build.
+func compilePlan(c *Circuit) *EvalPlan {
+	p := &EvalPlan{c: c, words: (c.NumGates() + 63) / 64}
+	p.levels = make([][]int32, c.Depth()+1)
+	counts := make([]int32, c.Depth()+1)
+	for g := 0; g < c.NumGates(); g++ {
+		counts[c.layer[g]]++
+		if f := c.FanIn(g); f > p.maxFanIn {
+			p.maxFanIn = f
+		}
+	}
+	flat := make([]int32, c.NumGates())
+	for l := range p.levels {
+		p.levels[l] = flat[:0:counts[l]]
+		flat = flat[counts[l]:]
+	}
+	for g := 0; g < c.NumGates(); g++ {
+		l := c.layer[g]
+		p.levels[l] = append(p.levels[l], int32(g))
+	}
+	p.scalarPool.New = func() interface{} { s := make([]uint64, p.words); return &s }
+	p.lanePool.New = func() interface{} { s := make([]uint64, c.NumGates()); return &s }
+	return p
+}
+
+// Plan returns the circuit's compiled evaluation plan.
+func (c *Circuit) Plan() *EvalPlan { return c.plan }
+
+// Circuit returns the circuit the plan was compiled from.
+func (p *EvalPlan) Circuit() *Circuit { return p.c }
+
+// MaxFanIn reports the largest gate fan-in in the circuit.
+func (p *EvalPlan) MaxFanIn() int { return p.maxFanIn }
+
+// bitOf reads gate g's bit from the scalar dense bitset.
+func bitOf(val []uint64, g int32) bool { return bits.BitsetGet(val, int(g)) }
+
+// setBit sets gate g's bit in the scalar dense bitset.
+func setBit(val []uint64, g int32) { bits.BitsetSet(val, int(g)) }
+
+// EvalGateBits evaluates gate g from a dense bitset of gate values (bit g
+// of val holds the value of gate g; all of g's in-wires must already be
+// set). It is the shared scalar inner step of the plan's Eval and of the
+// Theorem 2 simulation's local light-gate evaluation, and performs no
+// allocation.
+func (c *Circuit) EvalGateBits(g int, val []uint64) bool {
+	ws := c.inList[c.inStart[g]:c.inStart[g+1]]
+	switch c.kind[g] {
+	case Input:
+		return bitOf(val, int32(g))
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case And:
+		for _, w := range ws {
+			if !bitOf(val, w) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, w := range ws {
+			if bitOf(val, w) {
+				return true
+			}
+		}
+		return false
+	case Not:
+		return !bitOf(val, ws[0])
+	case Xor:
+		x := false
+		for _, w := range ws {
+			if bitOf(val, w) {
+				x = !x
+			}
+		}
+		return x
+	case Mod:
+		m := int(c.param[g])
+		s := 0
+		for _, w := range ws {
+			if bitOf(val, w) {
+				s++
+			}
+		}
+		return s%m == 0
+	case Threshold:
+		t := int(c.param[g])
+		s := 0
+		for _, w := range ws {
+			if bitOf(val, w) {
+				s++
+				if s >= t {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("circuit: EvalGateBits of %v", c.kind[g]))
+	}
+}
+
+// Eval evaluates the circuit on one input assignment through the dense
+// scalar path. Steady state performs O(1) allocations (the output slice).
+func (p *EvalPlan) Eval(in []bool) ([]bool, error) {
+	c := p.c
+	if len(in) != c.NumInputs() {
+		return nil, fmt.Errorf("circuit: %d input bits for %d inputs", len(in), c.NumInputs())
+	}
+	vp := p.scalarPool.Get().(*[]uint64)
+	val := *vp
+	for i := range val {
+		val[i] = 0
+	}
+	for i, g := range c.inputs {
+		if in[i] {
+			setBit(val, g)
+		}
+	}
+	for g := 0; g < len(c.kind); g++ {
+		if c.kind[g] == Input {
+			continue
+		}
+		if c.EvalGateBits(g, val) {
+			setBit(val, int32(g))
+		}
+	}
+	out := make([]bool, len(c.outputs))
+	for i, g := range c.outputs {
+		out[i] = bitOf(val, g)
+	}
+	p.scalarPool.Put(vp)
+	return out, nil
+}
+
+// ReplicateLanes packs one scalar input assignment into the all-lanes
+// bitsliced layout: every lane of lane word i carries input bit i.
+func ReplicateLanes(in []bool) []uint64 {
+	out := make([]uint64, len(in))
+	for i, v := range in {
+		if v {
+			out[i] = ^uint64(0)
+		}
+	}
+	return out
+}
+
+// EvalBatch evaluates 64 input assignments in one pass. in[i] holds input
+// position i across all lanes: bit t of in[i] is input i of assignment t.
+// The result follows the same layout: bit t of out[j] is output j of
+// assignment t. Steady state performs O(1) allocations (the output slice).
+func (p *EvalPlan) EvalBatch(in []uint64) ([]uint64, error) {
+	return p.EvalBatchParallel(in, 1)
+}
+
+// EvalBatchParallel is EvalBatch with level-parallel stepping: gates
+// within one level have no wires between them, so each level is
+// partitioned across `workers` goroutines (mirroring the round engine's
+// worker pool; pass core's resolved parallelism to line the two up).
+// workers <= 1 runs sequentially. Results are identical for every worker
+// count.
+func (p *EvalPlan) EvalBatchParallel(in []uint64, workers int) ([]uint64, error) {
+	c := p.c
+	if len(in) != c.NumInputs() {
+		return nil, fmt.Errorf("circuit: %d input lanes for %d inputs", len(in), c.NumInputs())
+	}
+	vp := p.lanePool.Get().(*[]uint64)
+	val := *vp
+	// Level 0: inputs and constants. Every other gate word is fully
+	// overwritten when its level is reached, so no clearing is needed.
+	for i, g := range c.inputs {
+		val[g] = in[i]
+	}
+	for _, g := range p.levels[0] {
+		switch c.kind[g] {
+		case Const0:
+			val[g] = 0
+		case Const1:
+			val[g] = ^uint64(0)
+		}
+	}
+	for l := 1; l < len(p.levels); l++ {
+		level := p.levels[l]
+		w := workers
+		if w > len(level)/batchParallelGrain {
+			w = len(level) / batchParallelGrain
+		}
+		if w <= 1 {
+			var cnt [64]uint64
+			for _, g := range level {
+				val[g] = p.batchGate(int(g), val, &cnt)
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		chunk := (len(level) + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > len(level) {
+				hi = len(level)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(gs []int32) {
+				defer wg.Done()
+				var cnt [64]uint64
+				for _, g := range gs {
+					val[g] = p.batchGate(int(g), val, &cnt)
+				}
+			}(level[lo:hi])
+		}
+		wg.Wait()
+	}
+	out := make([]uint64, len(c.outputs))
+	for i, g := range c.outputs {
+		out[i] = val[g]
+	}
+	p.lanePool.Put(vp)
+	return out, nil
+}
+
+// batchParallelGrain is the minimum number of gates handed to one worker;
+// smaller levels run sequentially (goroutine overhead would dominate).
+const batchParallelGrain = 512
+
+// batchGate computes the 64-lane word of gate g. cnt is the caller's
+// carry-save counter scratch (counter bit k of all 64 lanes in cnt[k]).
+func (p *EvalPlan) batchGate(g int, val []uint64, cnt *[64]uint64) uint64 {
+	c := p.c
+	ws := c.inList[c.inStart[g]:c.inStart[g+1]]
+	switch c.kind[g] {
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case And:
+		acc := ^uint64(0)
+		for _, w := range ws {
+			acc &= val[w]
+		}
+		return acc
+	case Or:
+		acc := uint64(0)
+		for _, w := range ws {
+			acc |= val[w]
+		}
+		return acc
+	case Not:
+		return ^val[ws[0]]
+	case Xor:
+		acc := uint64(0)
+		for _, w := range ws {
+			acc ^= val[w]
+		}
+		return acc
+	case Mod:
+		m := int(c.param[g])
+		if m == 2 {
+			// count ≡ 0 (mod 2) is the complement of the parity.
+			acc := uint64(0)
+			for _, w := range ws {
+				acc ^= val[w]
+			}
+			return ^acc
+		}
+		width := countLanes(ws, val, cnt)
+		if m&(m-1) == 0 {
+			// Power of two: divisible iff the low log2(m) counter bits
+			// are all zero.
+			low := 0
+			for 1<<uint(low) < m {
+				low++
+			}
+			acc := uint64(0)
+			for k := 0; k < low && k < width; k++ {
+				acc |= cnt[k]
+			}
+			return ^acc
+		}
+		if len(ws)/m+1 <= 64 {
+			// Few multiples: OR of bitsliced equality tests against each
+			// multiple of m in [0, fanIn].
+			acc := uint64(0)
+			for v := 0; v <= len(ws); v += m {
+				eq := ^uint64(0)
+				for k := 0; k < width; k++ {
+					if (v>>uint(k))&1 == 1 {
+						eq &= cnt[k]
+					} else {
+						eq &^= cnt[k]
+					}
+				}
+				acc |= eq
+			}
+			return acc
+		}
+		// Many multiples: extracting each lane's count is cheaper
+		// (64*width ops vs (fanIn/m)*width).
+		acc := uint64(0)
+		for t := 0; t < 64; t++ {
+			s := 0
+			for k := 0; k < width; k++ {
+				s |= int(cnt[k]>>uint(t)&1) << uint(k)
+			}
+			if s%m == 0 {
+				acc |= 1 << uint(t)
+			}
+		}
+		return acc
+	case Threshold:
+		t := int(c.param[g])
+		if t == 1 {
+			acc := uint64(0)
+			for _, w := range ws {
+				acc |= val[w]
+			}
+			return acc
+		}
+		if t == len(ws) {
+			acc := ^uint64(0)
+			for _, w := range ws {
+				acc &= val[w]
+			}
+			return acc
+		}
+		width := countLanes(ws, val, cnt)
+		// Bitsliced comparison count >= t, MSB first: gt collects lanes
+		// already strictly greater, eq the lanes still tied.
+		gt, eq := uint64(0), ^uint64(0)
+		for k := width - 1; k >= 0; k-- {
+			if (t>>uint(k))&1 == 1 {
+				eq &= cnt[k]
+			} else {
+				gt |= eq & cnt[k]
+				eq &^= cnt[k]
+			}
+		}
+		return gt | eq
+	default:
+		panic(fmt.Sprintf("circuit: batch evaluation of %v", c.kind[g]))
+	}
+}
+
+// countLanes accumulates the popcount of the in-wires per lane into the
+// carry-save counter: after the call, bit t of cnt[k] is bit k of the
+// number of true inputs in lane t. Returns the counter width in words
+// (enough bits to hold fanIn, so the ripple carry can never escape).
+func countLanes(ws []int32, val []uint64, cnt *[64]uint64) int {
+	width := bits.UintWidth(uint64(len(ws)))
+	for k := 0; k < width; k++ {
+		cnt[k] = 0
+	}
+	for _, w := range ws {
+		carry := val[w]
+		for k := 0; carry != 0; k++ {
+			cnt[k], carry = cnt[k]^carry, cnt[k]&carry
+		}
+	}
+	return width
+}

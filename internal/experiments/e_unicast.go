@@ -69,7 +69,7 @@ func E1CircuitSimulation(w io.Writer, quick bool) error {
 }
 
 func checkCircuit(c *circuit.Circuit, in []bool, res *circsim.RunResult) error {
-	want, err := c.Eval(in)
+	want, err := evalReference(c, in)
 	if err != nil {
 		return err
 	}
@@ -190,6 +190,18 @@ func E3MatmulTriangles(w io.Writer, quick bool) error {
 			}
 			fmt.Fprintf(w, "%6d %12v %14d %12d %10v\n",
 				n, alg, res.Run.Stats.Rounds, res.Run.Stats.MaxLinkBits, res.Found)
+		}
+		if BatchEval() {
+			// -batch: cross-check with the bitsliced local detector (64
+			// Shamir trials in one EvalBatch pass).
+			got, err := matmul.DetectTrianglesBatch(g, matmul.Schoolbook, 0, 64, 1, rng)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("experiments: bitsliced detection wrong on n=%d", n)
+			}
+			fmt.Fprintf(w, "%6d %12s %14s %12s %10v\n", n, "bitsliced", "(local)", "-", got)
 		}
 	}
 	return nil

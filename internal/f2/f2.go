@@ -77,6 +77,16 @@ func (m *Matrix) Set(i, j int, v bool) {
 // Row returns row i's packed words; the caller must not modify them.
 func (m *Matrix) Row(i int) []uint64 { return m.rows[i] }
 
+// SetRowWords copies packed row bits (64 per word, same layout as Row)
+// into row i, masking any bits beyond the dimension.
+func (m *Matrix) SetRowWords(i int, words []uint64) {
+	if len(words) < m.words {
+		panic(fmt.Sprintf("f2: %d words for a row of %d", len(words), m.words))
+	}
+	copy(m.rows[i], words[:m.words])
+	m.maskRow(i)
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.n)
@@ -126,6 +136,84 @@ func Mul(m, o *Matrix) *Matrix {
 				k := w*64 + bits.TrailingZeros64(word)
 				word &= word - 1
 				src := o.rows[k]
+				for t := range dst {
+					dst[t] ^= src[t]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// m4rBlock is the four-Russians block width: 8 row-combination bits index
+// a 256-entry table.
+const m4rBlock = 8
+
+// MulM4R returns the product m·o over GF(2) by the method of four
+// Russians: for each block of 8 rows of o, precompute all 256 XOR
+// combinations, then fold each row of m through table lookups on its
+// 8-bit chunks. Word ops drop from O(n³/64) (schoolbook row-XOR) to
+// O(n³/(64·8) + n·256/8·n/64), roughly an 8× reduction of the inner
+// loop for the dense matrices the Section 2.1 pipeline multiplies.
+func MulM4R(m, o *Matrix) *Matrix {
+	return fourRussians(m, o, false)
+}
+
+// BoolMulM4R is MulM4R over the Boolean (OR-AND) semiring: the table
+// holds OR combinations instead of XOR combinations. It is the fast path
+// for the exact Boolean products the triangle detectors reason about.
+func BoolMulM4R(m, o *Matrix) *Matrix {
+	return fourRussians(m, o, true)
+}
+
+func fourRussians(m, o *Matrix, boolean bool) *Matrix {
+	mustMatch(m, o)
+	out := New(m.n)
+	if m.n == 0 {
+		return out
+	}
+	words := out.words
+	// tbl[s] is the combination (XOR or OR) of the block's rows selected
+	// by the bits of s, built incrementally: tbl[s] = tbl[s without its
+	// lowest bit] ∘ row(lowest bit).
+	tbl := make([]uint64, (1<<m4rBlock)*words)
+	for base := 0; base < m.n; base += m4rBlock {
+		rows := m.n - base
+		if rows > m4rBlock {
+			rows = m4rBlock
+		}
+		for s := 1; s < 1<<uint(rows); s++ {
+			low := s & (-s)
+			src := tbl[(s^low)*words : (s^low+1)*words]
+			row := o.rows[base+bits.TrailingZeros64(uint64(low))]
+			dst := tbl[s*words : (s+1)*words]
+			if boolean {
+				for t := range dst {
+					dst[t] = src[t] | row[t]
+				}
+			} else {
+				for t := range dst {
+					dst[t] = src[t] ^ row[t]
+				}
+			}
+		}
+		// base is a multiple of m4rBlock, which divides 64, so the 8-bit
+		// selector never straddles a word boundary.
+		w, shift := base/64, uint(base%64)
+		for i := 0; i < m.n; i++ {
+			mrow := m.rows[i]
+			s := mrow[w] >> shift
+			s &= 1<<uint(rows) - 1
+			if s == 0 {
+				continue
+			}
+			src := tbl[int(s)*words : (int(s)+1)*words]
+			dst := out.rows[i]
+			if boolean {
+				for t := range dst {
+					dst[t] |= src[t]
+				}
+			} else {
 				for t := range dst {
 					dst[t] ^= src[t]
 				}

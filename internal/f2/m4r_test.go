@@ -1,0 +1,64 @@
+package f2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMulM4RMatchesSchoolbookAndStrassen pins the four-Russians product
+// against both existing GF(2) multipliers, across word-boundary sizes.
+func TestMulM4RMatchesSchoolbookAndStrassen(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 100, 130} {
+		a, b := Random(n, rng), Random(n, rng)
+		school := Mul(a, b)
+		m4r := MulM4R(a, b)
+		if !m4r.Equal(school) {
+			t.Fatalf("n=%d: MulM4R differs from schoolbook", n)
+		}
+		strassen := MulStrassen(a, b, 16)
+		if !m4r.Equal(strassen) {
+			t.Fatalf("n=%d: MulM4R differs from Strassen", n)
+		}
+	}
+}
+
+func TestBoolMulM4RMatchesBoolMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 5, 8, 33, 64, 90, 129} {
+		a, b := Random(n, rng), Random(n, rng)
+		if !BoolMulM4R(a, b).Equal(BoolMul(a, b)) {
+			t.Fatalf("n=%d: BoolMulM4R differs from BoolMul", n)
+		}
+	}
+}
+
+func TestMulM4RIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{3, 17, 64, 77} {
+		a := Random(n, rng)
+		if !MulM4R(a, Identity(n)).Equal(a) {
+			t.Fatalf("n=%d: A·I != A", n)
+		}
+		if !MulM4R(Identity(n), a).Equal(a) {
+			t.Fatalf("n=%d: I·A != A", n)
+		}
+	}
+}
+
+func benchMul(b *testing.B, n int, f func(x, y *Matrix) *Matrix) {
+	rng := rand.New(rand.NewSource(44))
+	x, y := Random(n, rng), Random(n, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(x, y)
+	}
+}
+
+func BenchmarkMulSchoolbook256(b *testing.B) { benchMul(b, 256, Mul) }
+func BenchmarkMulM4R256(b *testing.B)        { benchMul(b, 256, MulM4R) }
+func BenchmarkMulStrassen256(b *testing.B) {
+	benchMul(b, 256, func(x, y *Matrix) *Matrix { return MulStrassen(x, y, 64) })
+}
+func BenchmarkBoolMul256(b *testing.B)    { benchMul(b, 256, BoolMul) }
+func BenchmarkBoolMulM4R256(b *testing.B) { benchMul(b, 256, BoolMulM4R) }

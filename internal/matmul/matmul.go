@@ -48,26 +48,29 @@ func (m *ids) quad(r, c int) *ids {
 	return out
 }
 
-// addMat emits elementwise XOR gates for x + y over GF(2).
+// addMat emits elementwise XOR gates for x + y over GF(2), through the
+// builder's two-wire fast path.
 func addMat(b *circuit.Builder, x, y *ids) *ids {
 	out := newIDs(x.n)
 	for i := 0; i < x.n; i++ {
 		for j := 0; j < x.n; j++ {
-			out.set(i, j, b.Gate(circuit.Xor, 0, x.at(i, j), y.at(i, j)))
+			out.set(i, j, b.Gate2(circuit.Xor, 0, x.at(i, j), y.at(i, j)))
 		}
 	}
 	return out
 }
 
-// schoolbookMat emits the Θ(m³) gates for x·y over GF(2).
+// schoolbookMat emits the Θ(m³) gates for x·y over GF(2). The AND terms
+// go through Gate2 (no varargs slice); the terms slice is reused across
+// output cells.
 func schoolbookMat(b *circuit.Builder, x, y *ids) *ids {
 	m := x.n
 	out := newIDs(m)
+	terms := make([]int, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
-			terms := make([]int, m)
 			for k := 0; k < m; k++ {
-				terms[k] = b.Gate(circuit.And, 0, x.at(i, k), y.at(k, j))
+				terms[k] = b.Gate2(circuit.And, 0, x.at(i, k), y.at(k, j))
 			}
 			out.set(i, j, b.Gate(circuit.Xor, 0, terms...))
 		}
@@ -97,8 +100,8 @@ func strassenMat(b *circuit.Builder, x, y *ids, cutoff int) *ids {
 	for i := 0; i < h; i++ {
 		for j := 0; j < h; j++ {
 			c11 := b.Gate(circuit.Xor, 0, m1.at(i, j), m4.at(i, j), m5.at(i, j), m7.at(i, j))
-			c12 := b.Gate(circuit.Xor, 0, m3.at(i, j), m5.at(i, j))
-			c21 := b.Gate(circuit.Xor, 0, m2.at(i, j), m4.at(i, j))
+			c12 := b.Gate2(circuit.Xor, 0, m3.at(i, j), m5.at(i, j))
+			c21 := b.Gate2(circuit.Xor, 0, m2.at(i, j), m4.at(i, j))
 			c22 := b.Gate(circuit.Xor, 0, m1.at(i, j), m2.at(i, j), m3.at(i, j), m6.at(i, j))
 			out.set(i, j, c11)
 			out.set(i, h+j, c12)
@@ -248,13 +251,121 @@ func TriangleCircuit(n int, alg Algorithm, cutoff, trials int, rng *rand.Rand) (
 				if i == j {
 					continue
 				}
-				hits = append(hits, b.Gate(circuit.And, 0, a.at(i, j), p.at(i, j)))
+				hits = append(hits, b.Gate2(circuit.And, 0, a.at(i, j), p.at(i, j)))
 			}
 		}
 		trialOuts = append(trialOuts, b.Gate(circuit.Or, 0, hits...))
 	}
 	b.Output(b.Gate(circuit.Or, 0, trialOuts...))
 	return b.Build()
+}
+
+// TriangleTrialCircuit builds ONE Shamir trial of the Section 2.1
+// detector with the random diagonal exposed as inputs instead of baked
+// into the wiring: inputs are the n² adjacency bits (row-major) followed
+// by the n diagonal bits d_0..d_{n-1}; the single output is the trial's
+// hit bit — OR over i≠j of A[i][j] AND (A·(D·A))[i][j].
+//
+// Because the diagonal is an input, 64 independent trials become 64 lanes
+// of one bitsliced EvalBatch pass (the adjacency lanes are replicated,
+// the diagonal lanes carry 64 independent coin flips): the whole Shamir
+// trial budget of the detector runs in one pass instead of 64 sequential
+// cubings. One-sidedness is preserved lane by lane — a lane's P[i][j]
+// is a GF(2) sum over that lane's selected witnesses, so it can only be
+// nonzero when a witness exists (see DESIGN.md §7).
+func TriangleTrialCircuit(n int, alg Algorithm, cutoff int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("matmul: TriangleTrialCircuit(n=%d)", n)
+	}
+	if alg == Strassen && n&(n-1) != 0 {
+		return nil, fmt.Errorf("matmul: Strassen circuit needs power-of-two n, got %d", n)
+	}
+	b := circuit.NewBuilder()
+	a := inputMat(b, n)
+	d := make([]int, n)
+	for k := range d {
+		d[k] = b.Input()
+	}
+	da := newIDs(n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			da.set(k, j, b.Gate2(circuit.And, 0, d[k], a.at(k, j)))
+		}
+	}
+	var p *ids
+	switch alg {
+	case Schoolbook:
+		p = schoolbookMat(b, a, da)
+	case Strassen:
+		p = strassenMat(b, a, da, cutoff)
+	default:
+		return nil, fmt.Errorf("matmul: unknown algorithm %v", alg)
+	}
+	hits := make([]int, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			hits = append(hits, b.Gate2(circuit.And, 0, a.at(i, j), p.at(i, j)))
+		}
+	}
+	b.Output(b.Gate(circuit.Or, 0, hits...))
+	return b.Build()
+}
+
+// DetectTrianglesBatch runs the Section 2.1 detector locally on the
+// bitsliced engine: one TriangleTrialCircuit evaluation batches 64
+// random-diagonal trials (one per lane), and passes repeat until the
+// trial budget is spent. The answer has the same one-sided-error
+// guarantee as TriangleCircuit with the same trial count: false
+// positives are impossible, false negatives happen with probability at
+// most 2^{-trials}. workers > 1 enables level-parallel stepping.
+func DetectTrianglesBatch(g *graph.Graph, alg Algorithm, cutoff, trials, workers int, rng *rand.Rand) (bool, error) {
+	n := g.N()
+	if trials < 1 {
+		return false, fmt.Errorf("matmul: DetectTrianglesBatch(trials=%d)", trials)
+	}
+	c, err := TriangleTrialCircuit(n, alg, cutoff)
+	if err != nil {
+		return false, err
+	}
+	in := make([]uint64, c.NumInputs())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g.HasEdge(i, j) {
+				in[i*n+j] = ^uint64(0) // adjacency replicated across lanes
+			}
+		}
+	}
+	plan := c.Plan()
+	for done := 0; done < trials; done += 64 {
+		lanes := trials - done
+		if lanes > 64 {
+			lanes = 64
+		}
+		for k := 0; k < n; k++ {
+			var word uint64
+			for t := 0; t < lanes; t++ {
+				if rng.Intn(2) == 1 {
+					word |= 1 << uint(t)
+				}
+			}
+			in[n*n+k] = word
+		}
+		out, err := plan.EvalBatchParallel(in, workers)
+		if err != nil {
+			return false, err
+		}
+		mask := ^uint64(0)
+		if lanes < 64 {
+			mask = 1<<uint(lanes) - 1
+		}
+		if out[0]&mask != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // DetectResult reports one clique-simulated triangle detection run.
@@ -292,23 +403,23 @@ func DetectTrianglesOnClique(g *graph.Graph, alg Algorithm, cutoff, trials, band
 
 // ShamirBoolProduct computes the Boolean product of a and b with the same
 // randomized reduction the circuit uses, as a direct (non-circuit)
-// reference: each trial computes a·(D·b) over GF(2) and ORs the results.
-// With `trials` rounds, each true entry is detected with probability at
-// least 1-2^{-trials}; false entries are never set.
+// reference: each trial computes a·(D·b) over GF(2) — via the
+// four-Russians multiplier — and ORs the results word-wise. With
+// `trials` rounds, each true entry is detected with probability at least
+// 1-2^{-trials}; false entries are never set.
 func ShamirBoolProduct(a, b *f2.Matrix, trials int, rng *rand.Rand) *f2.Matrix {
 	n := a.N()
 	acc := f2.New(n)
+	keep := make([]bool, n)
 	for t := 0; t < trials; t++ {
-		keep := make([]bool, n)
 		for i := range keep {
 			keep[i] = rng.Intn(2) == 1
 		}
-		p := f2.Mul(a, f2.ScaleRows(b, keep))
+		p := f2.MulM4R(a, f2.ScaleRows(b, keep))
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if p.Get(i, j) {
-					acc.Set(i, j, true)
-				}
+			dst, src := acc.Row(i), p.Row(i)
+			for w := range dst {
+				dst[w] |= src[w]
 			}
 		}
 	}

@@ -112,6 +112,12 @@ func (rt *Router) submit(p *core.Proc, out []Msg, maxPayloadBits int) (*epoch, e
 // must call Route in the same round, passing its own outgoing messages
 // (possibly none) and the globally agreed maximum payload size in bits.
 //
+// Buffer ownership: submitted payloads are copied into relay frames, so
+// the caller may Release them once Route returns — except self-addressed
+// messages (Src == Dst), whose original payload is handed back in the
+// result. Received payloads are drawn from the bits pool; callers on hot
+// paths may Release them after consuming the bits.
+//
 // Round cost: 2 * ceil(C/n) * ceil((log2(n)+maxPayloadBits)/b) rounds,
 // where C <= 2Δ-1 and Δ is the maximum number of messages any single node
 // sends or receives. For Lenzen-balanced demands (Δ <= n) and bandwidth
@@ -130,10 +136,24 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 	subRounds := (e.classes + n - 1) / n
 	chunk := core.ChunkRounds(w+maxPayloadBits, p.Bandwidth())
 
-	// Local index of messages by class for phase 1.
-	myByClass := make(map[int]Msg)
+	// Per-call slices come from a pool: their lifetimes end when Route
+	// returns, and Route runs once per player per routing epoch.
+	//
+	// myByClass indexes this node's messages by class (the coloring gives
+	// each of them a distinct class); held is sized to subRounds*n so the
+	// phase-2 read of class s*n+id is always in range even when that
+	// class is empty.
+	sc := scratchPool.Get().(*routeScratch)
+	defer scratchPool.Put(sc)
+	myByClass := sc.byClass(e.classes)
+	held := sc.heldSlots(subRounds * n) // class -> messages held as intermediate
+	perDst := sc.dsts(n)
 	var local []Msg // self-addressed messages skip the network
+	inDeg := 0
 	for i, m := range e.msgs {
+		if m.Dst == p.ID() {
+			inDeg++
+		}
 		if m.Src != p.ID() {
 			continue
 		}
@@ -141,29 +161,34 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			local = append(local, m)
 			continue
 		}
-		myByClass[e.color[i]] = m
+		myByClass[e.color[i]] = &e.msgs[i]
 	}
 
 	// Phase 1: source -> intermediate (class c travels via node c mod n).
-	held := make(map[int][]Msg) // class -> messages held as intermediate
+	var rd bits.Reader
 	for s := 0; s < subRounds; s++ {
-		perDst := make([]*bits.Buffer, n)
+		for i := range perDst {
+			perDst[i] = nil
+		}
 		for c := s * n; c < (s+1)*n && c < e.classes; c++ {
-			m, ok := myByClass[c]
-			if !ok {
+			m := myByClass[c]
+			if m == nil {
 				continue
 			}
 			inter := c % n
-			buf := bits.New(w + m.Payload.Len())
-			buf.WriteUint(uint64(m.Dst), w)
-			buf.Append(m.Payload)
 			if inter == p.ID() {
-				held[c] = append(held[c], m)
+				held[c] = append(held[c], heldMsg{m: *m})
 				continue
 			}
+			buf := bits.Get(w + m.Payload.Len())
+			buf.WriteUint(uint64(m.Dst), w)
+			buf.Append(m.Payload)
 			perDst[inter] = buf
 		}
 		got, err := ExchangeUnicast(p, perDst, chunk)
+		for _, b := range perDst {
+			b.Release()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -171,8 +196,8 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			if buf == nil {
 				continue
 			}
-			r := bits.NewReader(buf)
-			dst64, err := r.ReadUint(w)
+			rd.Reset(buf)
+			dst64, err := rd.ReadUint(w)
 			if err != nil {
 				return nil, fmt.Errorf("routing: bad phase-1 header from %d: %w", src, err)
 			}
@@ -180,27 +205,37 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			if err != nil {
 				return nil, err
 			}
+			buf.Release()
 			c := s*n + p.ID()
-			held[c] = append(held[c], Msg{Src: src, Dst: int(dst64), Payload: payload})
+			held[c] = append(held[c], heldMsg{m: Msg{Src: src, Dst: int(dst64), Payload: payload}, owned: true})
 		}
 	}
 
 	// Phase 2: intermediate -> destination.
-	var recv []Msg
+	recv := make([]Msg, 0, inDeg)
 	for s := 0; s < subRounds; s++ {
-		perDst := make([]*bits.Buffer, n)
+		for i := range perDst {
+			perDst[i] = nil
+		}
 		c := s*n + p.ID()
-		for _, m := range held[c] {
+		for _, h := range held[c] {
+			m := h.m
 			if m.Dst == p.ID() {
 				recv = append(recv, m)
 				continue
 			}
-			buf := bits.New(w + m.Payload.Len())
+			buf := bits.Get(w + m.Payload.Len())
 			buf.WriteUint(uint64(m.Src), w)
 			buf.Append(m.Payload)
+			if h.owned {
+				m.Payload.Release()
+			}
 			perDst[m.Dst] = buf
 		}
 		got, err := ExchangeUnicast(p, perDst, chunk)
+		for _, b := range perDst {
+			b.Release()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -208,8 +243,8 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			if buf == nil {
 				continue
 			}
-			r := bits.NewReader(buf)
-			src64, err := r.ReadUint(w)
+			rd.Reset(buf)
+			src64, err := rd.ReadUint(w)
 			if err != nil {
 				return nil, fmt.Errorf("routing: bad phase-2 header: %w", err)
 			}
@@ -217,12 +252,73 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			if err != nil {
 				return nil, err
 			}
+			buf.Release()
 			recv = append(recv, Msg{Src: int(src64), Dst: p.ID(), Payload: payload})
 		}
 	}
 	recv = append(recv, local...)
-	sort.SliceStable(recv, func(i, j int) bool { return recv[i].Src < recv[j].Src })
+	sort.Stable(msgsBySrc(recv))
 	return recv, nil
+}
+
+// msgsBySrc sorts messages by source without reflection.
+type msgsBySrc []Msg
+
+func (m msgsBySrc) Len() int           { return len(m) }
+func (m msgsBySrc) Less(i, j int) bool { return m[i].Src < m[j].Src }
+func (m msgsBySrc) Swap(i, j int)      { m[i], m[j] = m[j], m[i] }
+
+// heldMsg tracks payload ownership through the relay: payloads sliced out
+// of phase-1 relay frames are pool-owned by the router and released once
+// relayed; payloads held because this node is the intermediate of its own
+// message belong to the caller and are never released.
+type heldMsg struct {
+	m     Msg
+	owned bool
+}
+
+// routeScratch holds one Route call's fixed-size slices, recycled through
+// scratchPool. Resizes keep capacity; acquired ranges are cleared before
+// use.
+type routeScratch struct {
+	myByClass []*Msg
+	held      [][]heldMsg
+	perDst    []*bits.Buffer
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(routeScratch) }}
+
+func (sc *routeScratch) byClass(n int) []*Msg {
+	if cap(sc.myByClass) < n {
+		sc.myByClass = make([]*Msg, n)
+	}
+	sc.myByClass = sc.myByClass[:n]
+	for i := range sc.myByClass {
+		sc.myByClass[i] = nil
+	}
+	return sc.myByClass
+}
+
+func (sc *routeScratch) heldSlots(n int) [][]heldMsg {
+	if cap(sc.held) < n {
+		sc.held = make([][]heldMsg, n)
+	}
+	sc.held = sc.held[:n]
+	for i := range sc.held {
+		sc.held[i] = sc.held[i][:0]
+	}
+	return sc.held
+}
+
+func (sc *routeScratch) dsts(n int) []*bits.Buffer {
+	if cap(sc.perDst) < n {
+		sc.perDst = make([]*bits.Buffer, n)
+	}
+	sc.perDst = sc.perDst[:n]
+	for i := range sc.perDst {
+		sc.perDst[i] = nil
+	}
+	return sc.perDst
 }
 
 // computeSchedule greedily edge-colors the demand multigraph. Messages are
@@ -233,19 +329,19 @@ func (e *epoch) computeSchedule() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ma, mb := e.msgs[idx[a]], e.msgs[idx[b]]
-		if ma.Src != mb.Src {
-			return ma.Src < mb.Src
-		}
-		return ma.Dst < mb.Dst
-	})
+	sort.Stable(&idxBySrcDst{idx: idx, msgs: e.msgs})
 	e.color = make([]int, len(e.msgs))
-	srcUsed := make([]map[int]bool, e.n)
-	dstUsed := make([]map[int]bool, e.n)
-	for i := 0; i < e.n; i++ {
-		srcUsed[i] = make(map[int]bool)
-		dstUsed[i] = make(map[int]bool)
+	// Per-endpoint used-class bitsets (classes are small — at most 2Δ-1 —
+	// so a few words per endpoint beat per-class maps).
+	srcUsed := make([][]uint64, e.n)
+	dstUsed := make([][]uint64, e.n)
+	used := func(bs []uint64, c int) bool { return c>>6 < len(bs) && bs[c>>6]&(1<<uint(c&63)) != 0 }
+	set := func(bs []uint64, c int) []uint64 {
+		for c>>6 >= len(bs) {
+			bs = append(bs, 0)
+		}
+		bs[c>>6] |= 1 << uint(c&63)
+		return bs
 	}
 	maxClass := 0
 	for _, i := range idx {
@@ -255,11 +351,11 @@ func (e *epoch) computeSchedule() {
 			continue
 		}
 		c := 0
-		for srcUsed[m.Src][c] || dstUsed[m.Dst][c] {
+		for used(srcUsed[m.Src], c) || used(dstUsed[m.Dst], c) {
 			c++
 		}
-		srcUsed[m.Src][c] = true
-		dstUsed[m.Dst][c] = true
+		srcUsed[m.Src] = set(srcUsed[m.Src], c)
+		dstUsed[m.Dst] = set(dstUsed[m.Dst], c)
 		e.color[i] = c
 		if c+1 > maxClass {
 			maxClass = c + 1
@@ -271,28 +367,53 @@ func (e *epoch) computeSchedule() {
 	e.classes = maxClass
 }
 
-// exchangeUnicast sends perDst[d] (nil = nothing) to each d over exactly
+// idxBySrcDst sorts a message-index permutation by (Src, Dst) without
+// reflection.
+type idxBySrcDst struct {
+	idx  []int
+	msgs []Msg
+}
+
+func (s *idxBySrcDst) Len() int { return len(s.idx) }
+func (s *idxBySrcDst) Less(a, b int) bool {
+	ma, mb := s.msgs[s.idx[a]], s.msgs[s.idx[b]]
+	if ma.Src != mb.Src {
+		return ma.Src < mb.Src
+	}
+	return ma.Dst < mb.Dst
+}
+func (s *idxBySrcDst) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// ExchangeUnicast sends perDst[d] (nil = nothing) to each d over exactly
 // `rounds` rounds, chunked at the bandwidth, and returns the buffers
 // received, indexed by source. Every node must call it simultaneously with
-// the same round count.
+// the same round count. The staged buffers are copied at chunking time, so
+// the caller may Release them afterwards; the returned buffers are drawn
+// from the bits pool and may likewise be Released once consumed.
 func ExchangeUnicast(p *core.Proc, perDst []*bits.Buffer, rounds int) ([]*bits.Buffer, error) {
 	b := p.Bandwidth()
-	chunks := make([][]*bits.Buffer, len(perDst))
-	for d, buf := range perDst {
-		if buf != nil && buf.Len() > 0 {
-			chunks[d] = buf.Chunks(b)
-		}
-	}
 	acc := make([]*bits.Buffer, p.N())
-	gotAny := make([]bool, p.N())
 	for r := 0; r < rounds; r++ {
-		for d := range chunks {
-			if r < len(chunks[d]) {
-				if err := p.Send(d, chunks[d][r]); err != nil {
-					return nil, err
-				}
-				chunks[d][r].Release() // frozen delivery view keeps the bits alive
+		// Chunks are cut on the fly: one pooled send buffer per message,
+		// released as soon as it is staged (the frozen delivery view keeps
+		// the bits alive).
+		for d, buf := range perDst {
+			off := r * b
+			if buf == nil || off >= buf.Len() {
+				continue
 			}
+			end := off + b
+			if end > buf.Len() {
+				end = buf.Len()
+			}
+			chunk := bits.Get(end - off)
+			if err := chunk.AppendRange(buf, off, end); err != nil {
+				return nil, err
+			}
+			if err := p.Send(d, chunk); err != nil {
+				return nil, err
+			}
+			chunk.Release()
 		}
 		in := p.Next()
 		for src, msg := range in {
@@ -300,17 +421,12 @@ func ExchangeUnicast(p *core.Proc, perDst []*bits.Buffer, rounds int) ([]*bits.B
 				continue
 			}
 			if acc[src] == nil {
-				acc[src] = bits.New(0)
+				// A link carries at most rounds*b bits, so one hint-sized
+				// grab avoids regrowth as chunks append.
+				acc[src] = bits.Get(rounds * b)
 			}
 			acc[src].Append(msg)
-			gotAny[src] = true
 		}
 	}
-	out := make([]*bits.Buffer, p.N())
-	for src := range acc {
-		if gotAny[src] {
-			out[src] = acc[src]
-		}
-	}
-	return out, nil
+	return acc, nil
 }

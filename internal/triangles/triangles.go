@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/core"
+	"repro/internal/f2"
 	"repro/internal/graph"
 	"repro/internal/routing"
 )
@@ -41,7 +42,10 @@ type Result struct {
 }
 
 // BroadcastDetect runs the trivial full-exchange detection in
-// CLIQUE-BCAST(n, bandwidth).
+// CLIQUE-BCAST(n, bandwidth). The local decision runs word-packed: the
+// received rows are reassembled into an f2 adjacency matrix and a
+// triangle exists iff some entry of A AND A∘A (Boolean square, computed
+// by the four-Russians multiplier) is set.
 func BroadcastDetect(g *graph.Graph, bandwidth int, seed int64) (*Result, error) {
 	n := g.N()
 	views := graph.Distribute(g)
@@ -53,25 +57,38 @@ func BroadcastDetect(g *graph.Graph, bandwidth int, seed int64) (*Result, error)
 		if err != nil {
 			return err
 		}
-		recon := graph.New(n)
+		recon := f2.New(n)
 		for v, buf := range all {
 			row, err := core.DecodeAdjacencyRow(buf, n)
 			if err != nil {
 				return fmt.Errorf("node %d: row from %d: %w", p.ID(), v, err)
 			}
-			for u := 0; u < n; u++ {
-				if row[u/64]&(1<<uint(u%64)) != 0 {
-					recon.AddEdge(v, u)
-				}
-			}
+			recon.SetRowWords(v, row)
 		}
-		p.SetOutput(recon.HasTriangle())
+		p.SetOutput(hasTriangleBitset(recon))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return collectAgreement(res)
+}
+
+// hasTriangleBitset decides triangle existence from a packed adjacency
+// matrix: A[i][j] and (A∘A)[i][j] are both set for some i,j iff edge
+// {i,j} has a common neighbor (the diagonal of A is zero, so the witness
+// is distinct from both endpoints).
+func hasTriangleBitset(a *f2.Matrix) bool {
+	sq := f2.BoolMulM4R(a, a)
+	for i := 0; i < a.N(); i++ {
+		ai, si := a.Row(i), sq.Row(i)
+		for w := range ai {
+			if ai[w]&si[w] != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // grouping is a balanced partition of vertices into g groups with

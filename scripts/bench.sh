@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Record the performance trajectory: run the engine and experiment
-# benchmarks with allocation stats and emit BENCH_<date>.json next to
-# the repo root. Compare files across PRs to see the trend.
+# Record the performance trajectory: run the engine, circuit-evaluation,
+# GF(2) matmul and experiment benchmarks with allocation stats and emit
+# BENCH_<date>.json next to the repo root. Compare files across PRs to
+# see the trend (ns/op and allocs/op per benchmark).
 #
 #   scripts/bench.sh             # default: 3x per benchmark
 #   BENCHTIME=10x scripts/bench.sh
 #   BENCHFILTER='BenchmarkRun' scripts/bench.sh   # engine only
+#   BENCHFILTER='CircuitEval|Mul' scripts/bench.sh  # eval engines only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +20,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
