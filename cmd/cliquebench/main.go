@@ -6,8 +6,13 @@
 //	cliquebench -exp E7     # one experiment
 //	cliquebench -quick      # reduced parameter sweeps
 //	cliquebench -list       # show the experiment index
+//	cliquebench -scenarios  # the scenario matrix (internal/scenario)
 //
-// See EXPERIMENTS.md for the paper-vs-measured record.
+// See EXPERIMENTS.md for the paper-vs-measured record. With -scenarios
+// the experiments are skipped and the differential workload matrix runs
+// instead (same engine as cmd/scenariorun; -seed and -shards apply),
+// writing SCENARIOS_<date>.json and failing on any oracle/engine
+// divergence.
 package main
 
 import (
@@ -17,15 +22,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID to run (E1..E14, EA1) or 'all'")
-		quick = flag.Bool("quick", false, "reduced parameter sweeps")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		par   = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
-		batch = flag.Bool("batch", false, "use the 64-lane bitsliced engine for local reference evaluation")
+		exp       = flag.String("exp", "all", "experiment ID to run (E1..E14, EA1) or 'all'")
+		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		par       = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
+		batch     = flag.Bool("batch", false, "use the 64-lane bitsliced engine for local reference evaluation")
+		scenarios = flag.Bool("scenarios", false, "run the scenario matrix instead of the experiments")
+		seed      = flag.Int64("seed", 1, "base seed of the scenario matrix (-scenarios)")
+		shards    = flag.Int("shards", 0, "scenario worker-pool shards: 0 = GOMAXPROCS (-scenarios)")
 	)
 	flag.Parse()
 	core.SetDefaultParallelism(*par)
@@ -35,6 +44,10 @@ func main() {
 		for _, e := range experiments.All {
 			fmt.Printf("%-5s %s\n", e.ID, e.Claim)
 		}
+		return
+	}
+	if *scenarios {
+		runScenarios(*quick, *seed, *shards)
 		return
 	}
 	if *exp != "all" {
@@ -55,5 +68,14 @@ func run(e experiments.Experiment, quick bool) {
 	if err := e.Run(os.Stdout, quick); err != nil {
 		fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 		os.Exit(1)
+	}
+}
+
+// runScenarios sweeps the differential workload matrix and writes
+// SCENARIOS_<date>.json (DESIGN.md §8).
+func runScenarios(quick bool, seed int64, shards int) {
+	rep := scenario.RunMatrix(scenario.DefaultMatrix(quick, seed), shards)
+	if code := rep.WriteAndReport("", os.Stdout, os.Stderr); code != 0 {
+		os.Exit(code)
 	}
 }

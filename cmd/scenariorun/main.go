@@ -1,0 +1,94 @@
+// Scenariorun sweeps the scenario matrix (internal/scenario): graph
+// families × sizes × engine configurations × protocols, every cell run
+// under both the sequential scalar oracle and the engine configuration
+// under test, outputs and Stats diffed bit-for-bit. It writes the
+// machine-readable SCENARIOS_<date>.json (schema: DESIGN.md §8) and
+// exits nonzero on any divergence.
+//
+//	scenariorun -quick               # reduced sweep (~180 cells)
+//	scenariorun                      # full sweep
+//	scenariorun -list                # show families/engines/protocols
+//	scenariorun -families gnp,rs -protocols triangle,routing
+//	scenariorun -seed 7 -shards 4 -out /tmp/scen.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced sweep")
+		seed      = flag.Int64("seed", 1, "base seed of the matrix")
+		shards    = flag.Int("shards", 0, "worker-pool shards over cells: 0 = GOMAXPROCS")
+		out       = flag.String("out", "", "output path (default SCENARIOS_<date>.json)")
+		families  = flag.String("families", "", "comma-separated family subset (default: all)")
+		protocols = flag.String("protocols", "", "comma-separated protocol subset (default: all)")
+		list      = flag.Bool("list", false, "list matrix dimensions and exit")
+		verbose   = flag.Bool("v", false, "print every cell, not just divergences")
+	)
+	flag.Parse()
+
+	m := scenario.DefaultMatrix(*quick, *seed)
+	if *list {
+		fmt.Println("families:")
+		for _, f := range m.Families {
+			fmt.Printf("  %-10s %s\n", f.Name, f.Desc)
+		}
+		fmt.Println("engines:")
+		for _, e := range m.Engines {
+			fmt.Printf("  %-14s parallelism=%d batch=%v bandwidth=%d\n", e.Name, e.Parallelism, e.Batch, e.Bandwidth)
+		}
+		fmt.Println("protocols:")
+		for _, p := range m.Protocols {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Desc)
+		}
+		fmt.Printf("sizes: %v\n", m.Sizes)
+		return
+	}
+	if *families != "" {
+		m.Families = m.Families[:0]
+		for _, name := range strings.Split(*families, ",") {
+			f, ok := scenario.FamilyByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown family %q; use -list\n", name)
+				os.Exit(2)
+			}
+			m.Families = append(m.Families, f)
+		}
+	}
+	if *protocols != "" {
+		m.Protocols = m.Protocols[:0]
+		for _, name := range strings.Split(*protocols, ",") {
+			p, ok := scenario.ProtocolByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown protocol %q; use -list\n", name)
+				os.Exit(2)
+			}
+			m.Protocols = append(m.Protocols, p)
+		}
+	}
+
+	rep := scenario.RunMatrix(m, *shards)
+	if *verbose {
+		for _, c := range rep.Cells {
+			status := "ok"
+			if c.Diverged {
+				status = "DIVERGED"
+			}
+			fmt.Printf("%-10s n=%-3d %-14s %-12s rounds=%-4d bits=%-8d %-8s %s\n",
+				c.Family, c.N, c.Engine, c.Protocol, c.Rounds, c.TotalBits, status, c.Divergence)
+		}
+	}
+	s := rep.Summary
+	fmt.Printf("matrix: %d families x %d sizes x %d engines x %d protocols, %d shards\n",
+		len(s.Families), len(s.Sizes), len(s.Engines), len(s.Protocols), rep.Shards)
+	fmt.Printf("  oracle=%.1fms engine=%.1fms wall=%.1fms\n",
+		float64(s.OracleNs)/1e6, float64(s.EngineNs)/1e6, float64(s.WallNs)/1e6)
+	os.Exit(rep.WriteAndReport(*out, os.Stdout, os.Stderr))
+}

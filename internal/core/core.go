@@ -37,8 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/bits"
@@ -122,16 +120,7 @@ func SetDefaultParallelism(p int) {
 func DefaultParallelism() int { return int(defaultParallelism.Load()) }
 
 // workers resolves the effective worker count for this run.
-func (c *Config) workers() int {
-	p := c.Parallelism
-	if p == 0 {
-		p = int(defaultParallelism.Load())
-	}
-	if p == 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	return p
-}
+func (c *Config) workers() int { return ResolveParallelism(c.Parallelism) }
 
 func (c *Config) validate() error {
 	if c.N <= 0 {
@@ -385,41 +374,12 @@ func (e *engine) stepOne(slot, id, round int) error {
 // for the lowest-numbered failing node.
 func (e *engine) step(round int) error {
 	n := len(e.live)
-	w := e.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for k, id := range e.live {
-			if err := e.stepOne(k, id, round); err != nil {
-				return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
-			}
-		}
-	} else {
-		var wg sync.WaitGroup
-		chunk := (n + w - 1) / w
-		for g := 0; g < w; g++ {
-			lo := g * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for k := lo; k < hi; k++ {
-					e.errs[k] = e.stepOne(k, e.live[k], round)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-		for k, id := range e.live {
-			if err := e.errs[k]; err != nil {
-				return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
-			}
+	ParallelFor(e.workers, n, func(k int) {
+		e.errs[k] = e.stepOne(k, e.live[k], round)
+	})
+	for k, id := range e.live {
+		if err := e.errs[k]; err != nil {
+			return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
 		}
 	}
 	// Compact the live list; halt the nodes that reported done.

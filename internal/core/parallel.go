@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ResolveParallelism maps a requested worker count onto an effective one
+// using the same rules as Config.Parallelism: 0 consults the package
+// default (SetDefaultParallelism), which itself defaults to
+// runtime.GOMAXPROCS(0). Values below zero are treated as zero.
+func ResolveParallelism(p int) int {
+	if p <= 0 {
+		p = int(defaultParallelism.Load())
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), fanned out over at most
+// `workers` goroutines in contiguous chunks (worker g owns one chunk, so
+// per-index work is never interleaved within a chunk). workers <= 1 runs
+// the loop inline. It is the engine's round-stepping fan-out, exported so
+// other packages (the scenario runner's cell shards, batched local
+// evaluation) reuse one parallelism primitive instead of growing their
+// own pools.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for g := 0; g < workers; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -111,6 +111,86 @@ func RandomBipartite(a, b int, p float64, rng *rand.Rand) *Graph {
 	return g
 }
 
+// PowerLaw returns a preferential-attachment (Barabási–Albert style)
+// graph: vertices arrive one at a time and each newcomer attaches to m
+// distinct earlier vertices chosen with probability proportional to their
+// current degree (endpoint sampling over the running edge list). The
+// first min(m+1, n) vertices form a clique seed. Degree tails follow the
+// usual power law, giving the scenario matrix its skewed-degree family.
+func PowerLaw(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := New(n)
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	// ends holds both endpoints of every edge so far; uniform sampling
+	// from it is degree-proportional sampling of vertices.
+	ends := make([]int, 0, 2*m*n)
+	for _, e := range g.Edges() {
+		ends = append(ends, e[0], e[1])
+	}
+	// The newcomer loop only runs when n > seed >= 2, so the clique seed
+	// guarantees ends is non-empty and holds >= m+1 distinct vertices,
+	// all < v: sampling always terminates.
+	picked := make([]int, 0, m)
+	for v := seed; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < m {
+			t := ends[rng.Intn(len(ends))]
+			dup := false
+			for _, q := range picked {
+				if q == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, t := range picked {
+			g.AddEdge(v, t)
+			ends = append(ends, v, t)
+		}
+	}
+	return g
+}
+
+// PlantedGnp returns G(n, p) with `copies` random copies of the pattern h
+// planted on top (the planted-H family of the scenario matrix), together
+// with the vertex sets used for the plants.
+func PlantedGnp(n int, p float64, h *Graph, copies int, rng *rand.Rand) (*Graph, [][]int) {
+	g := Gnp(n, p, rng)
+	plants := make([][]int, 0, copies)
+	for i := 0; i < copies; i++ {
+		plants = append(plants, PlantCopy(g, h, rng))
+	}
+	return g, plants
+}
+
+// WithIsolated returns a copy of g padded with isolated vertices up to n
+// total (or g itself unchanged, as a clone, when it already has >= n).
+// Scenario families built from rigid constructions (RS tripartite graphs,
+// polarity graphs) use it to hit an exact player count.
+func WithIsolated(g *Graph, n int) *Graph {
+	if n < g.N() {
+		n = g.N()
+	}
+	out := New(n)
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	return out
+}
+
 // DisjointUnion returns the disjoint union of g and h; vertices of h are
 // shifted up by g.N().
 func DisjointUnion(g, h *Graph) *Graph {

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 200, 3
+	g := PowerLaw(n, m, rng)
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	wantM := m*(m+1)/2 + (n-m-1)*m
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d (clique seed + m per newcomer)", g.M(), wantM)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < 1 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+	// Preferential attachment must produce a hub far above the median
+	// degree; a G(n,p) with the same edge count would not.
+	if g.MaxDegree() < 3*m {
+		t.Fatalf("max degree %d too flat for preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(100, 2, rand.New(rand.NewSource(42)))
+	b := PowerLaw(100, 2, rand.New(rand.NewSource(42)))
+	if !a.Equal(b) {
+		t.Fatal("PowerLaw not deterministic for a fixed seed")
+	}
+}
+
+func TestPowerLawTinyN(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		g := PowerLaw(n, 3, rand.New(rand.NewSource(1)))
+		if g.N() != n {
+			t.Fatalf("n=%d: got N=%d", n, g.N())
+		}
+		want := n * (n - 1) / 2 // all-clique when n <= m+1
+		if g.M() != want {
+			t.Fatalf("n=%d: M=%d, want clique %d", n, g.M(), want)
+		}
+	}
+}
+
+func TestPlantedGnp(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := Complete(4)
+	g, plants := PlantedGnp(40, 0.02, h, 3, rng)
+	if len(plants) != 3 {
+		t.Fatalf("got %d plants, want 3", len(plants))
+	}
+	for i, pl := range plants {
+		if len(pl) != 4 {
+			t.Fatalf("plant %d uses %d vertices, want 4", i, len(pl))
+		}
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				if !g.HasEdge(pl[a], pl[b]) {
+					t.Fatalf("plant %d missing edge %d-%d", i, pl[a], pl[b])
+				}
+			}
+		}
+	}
+	if !ContainsSubgraph(g, h) {
+		t.Fatal("planted K4 not found")
+	}
+}
+
+func TestWithIsolated(t *testing.T) {
+	g := Cycle(5)
+	p := WithIsolated(g, 9)
+	if p.N() != 9 || p.M() != 5 {
+		t.Fatalf("padded to N=%d M=%d, want 9/5", p.N(), p.M())
+	}
+	for v := 5; v < 9; v++ {
+		if p.Degree(v) != 0 {
+			t.Fatalf("pad vertex %d has degree %d", v, p.Degree(v))
+		}
+	}
+	// Shrinking is a clone, never a truncation.
+	q := WithIsolated(g, 3)
+	if q.N() != 5 || !q.Equal(g) {
+		t.Fatalf("WithIsolated below N changed the graph")
+	}
+	q.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("WithIsolated aliases the input graph")
+	}
+}

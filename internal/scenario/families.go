@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/rsgraph"
+	"repro/internal/turan"
+)
+
+// famRng returns the generation rng of a cell; it is separate from the
+// protocol seed so a family tweak cannot silently shift protocol coins.
+func famRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x5cea11))
+}
+
+// DefaultFamilies is the standing family set of the scenario matrix. Each
+// generator is deterministic in (n, seed); see the per-family notes for
+// which paper claim the family stresses.
+func DefaultFamilies() []Family {
+	return []Family{
+		{
+			Name: "gnp",
+			Desc: "Erdős–Rényi G(n, 1/4): the average-case instances of E4/E8",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.Gnp(n, 0.25, famRng(seed))
+			},
+		},
+		{
+			Name: "powerlaw",
+			Desc: "preferential attachment, m=3: skewed degrees stress balanced routing and grouping",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.PowerLaw(n, 3, famRng(seed))
+			},
+		},
+		{
+			Name: "planted-h",
+			Desc: "sparse G(n, 0.05) with two planted K4 copies: the Theorem 7/9 'yes' instances",
+			Gen: func(n int, seed int64) *graph.Graph {
+				g, _ := graph.PlantedGnp(n, 0.05, graph.Complete(4), 2, famRng(seed))
+				return g
+			},
+		},
+		{
+			Name: "rs",
+			Desc: "Ruzsa–Szemerédi tripartite (Claim 23): every edge in exactly one triangle",
+			Gen: func(n int, seed int64) *graph.Graph {
+				k := n / 6
+				if k < 2 {
+					k = 2
+				}
+				t, err := rsgraph.NewTripartite(k)
+				if err != nil {
+					panic(err) // k >= 2 is always valid
+				}
+				return graph.WithIsolated(t.G, n)
+			},
+		},
+		{
+			Name: "turan",
+			Desc: "Turán graph T(n,3): the K4-free extremal instance of Claim 6",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return turan.TuranGraph(n, 3)
+			},
+		},
+		{
+			Name: "demand",
+			Desc: "complete graph K_n: the worst-case all-to-all routing demand",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.Complete(n)
+			},
+		},
+	}
+}
+
+// FamilyByName resolves a family from the default set.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range DefaultFamilies() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -1,0 +1,305 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ReportSchema names the JSON layout documented in DESIGN.md §8; bump it
+// when a field changes meaning.
+const ReportSchema = "scenarios/v1"
+
+// CellResult is the machine-readable record of one matrix cell: its
+// coordinates, the accounting shared by both legs (identical by the
+// engine's determinism guarantee — any difference is a divergence), and
+// the per-leg wall times.
+type CellResult struct {
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	Engine   string `json:"engine"`
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+
+	GraphEdges  int    `json:"graph_edges"`
+	Rounds      int    `json:"rounds"`
+	Steps       int    `json:"steps"`
+	TotalBits   int64  `json:"total_bits"`
+	MaxLinkBits int    `json:"max_link_bits"`
+	MaxNodeBits int64  `json:"max_node_bits"`
+	Output      string `json:"output"`
+
+	OracleNs int64 `json:"oracle_ns"`
+	EngineNs int64 `json:"engine_ns"`
+
+	Diverged   bool   `json:"diverged"`
+	Divergence string `json:"divergence,omitempty"`
+}
+
+// Summary aggregates the run for trend tracking (bench.sh folds it into
+// BENCH_<date>.json).
+type Summary struct {
+	Cells       int      `json:"cells"`
+	Divergences int      `json:"divergences"`
+	Families    []string `json:"families"`
+	Sizes       []int    `json:"sizes"`
+	Engines     []string `json:"engines"`
+	Protocols   []string `json:"protocols"`
+	TotalRounds int64    `json:"total_rounds"`
+	TotalBits   int64    `json:"total_bits"`
+	OracleNs    int64    `json:"oracle_ns"`
+	EngineNs    int64    `json:"engine_ns"`
+	WallNs      int64    `json:"wall_ns"`
+}
+
+// Report is the full SCENARIOS_<date>.json document.
+type Report struct {
+	Schema   string       `json:"schema"`
+	Date     string       `json:"date"`
+	BaseSeed int64        `json:"base_seed"`
+	Shards   int          `json:"shards"`
+	Summary  Summary      `json:"summary"`
+	Cells    []CellResult `json:"cells"`
+}
+
+// legOut is one leg's outcome while the passes are in flight.
+type legOut struct {
+	res   *LegResult
+	edges int
+	ns    int64
+	err   error
+}
+
+// runLeg regenerates the cell's instance and executes one leg.
+// Regenerating per leg (rather than sharing one graph) puts family
+// generation itself under differential test and keeps legs fully
+// independent.
+func runLeg(c Cell, oracle bool) legOut {
+	g := c.Family.Gen(c.N, c.Seed)
+	leg := Leg{Oracle: oracle}
+	if !oracle {
+		leg.Batch = c.Engine.Batch
+		leg.Parallelism = core.ResolveParallelism(c.Engine.Parallelism)
+	} else {
+		leg.Parallelism = 1
+	}
+	start := time.Now()
+	res, err := c.Protocol.Run(g, c.Engine.Bandwidth, c.Seed+1, leg)
+	return legOut{res: res, edges: g.M(), ns: time.Since(start).Nanoseconds(), err: err}
+}
+
+// statsDiff returns "" when the two legs' Stats agree bit for bit, else a
+// description of the first differing field.
+func statsDiff(a, b core.Stats) string {
+	switch {
+	case a.Rounds != b.Rounds:
+		return fmt.Sprintf("Rounds %d != %d", a.Rounds, b.Rounds)
+	case a.Steps != b.Steps:
+		return fmt.Sprintf("Steps %d != %d", a.Steps, b.Steps)
+	case a.TotalBits != b.TotalBits:
+		return fmt.Sprintf("TotalBits %d != %d", a.TotalBits, b.TotalBits)
+	case a.MaxLinkBits != b.MaxLinkBits:
+		return fmt.Sprintf("MaxLinkBits %d != %d", a.MaxLinkBits, b.MaxLinkBits)
+	case a.MaxNodeBits != b.MaxNodeBits:
+		return fmt.Sprintf("MaxNodeBits %d != %d", a.MaxNodeBits, b.MaxNodeBits)
+	case a.CutBits != b.CutBits:
+		return fmt.Sprintf("CutBits %d != %d", a.CutBits, b.CutBits)
+	case len(a.NodeSentBits) != len(b.NodeSentBits):
+		return fmt.Sprintf("NodeSentBits length %d != %d", len(a.NodeSentBits), len(b.NodeSentBits))
+	}
+	for i := range a.NodeSentBits {
+		if a.NodeSentBits[i] != b.NodeSentBits[i] {
+			return fmt.Sprintf("NodeSentBits[%d] %d != %d", i, a.NodeSentBits[i], b.NodeSentBits[i])
+		}
+	}
+	return ""
+}
+
+// RunMatrix executes every cell of the matrix under both the sequential
+// scalar oracle and the cell's engine configuration, diffs the legs, and
+// returns the aggregated report. Cells are sharded across a
+// core.ParallelFor pool of `shards` workers (0 = GOMAXPROCS).
+//
+// Engine parallelism is plumbed to the protocols through the package
+// default (core.SetDefaultParallelism), so the run proceeds in passes —
+// the oracle leg of every cell first, then the engine legs grouped by
+// configuration — and never flips the default while a pass is in flight.
+// The previous default is restored on return.
+func RunMatrix(m *Matrix, shards int) *Report {
+	cells := m.Expand()
+	// Shard resolution deliberately bypasses core.ResolveParallelism: the
+	// package default is the *engine* parallelism knob (a -parallelism 1
+	// oracle run must not collapse the cell pool to one shard).
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	prev := core.DefaultParallelism()
+	defer core.SetDefaultParallelism(prev)
+
+	wallStart := time.Now()
+	oracle := make([]legOut, len(cells))
+	engine := make([]legOut, len(cells))
+
+	core.SetDefaultParallelism(1)
+	core.ParallelFor(shards, len(cells), func(i int) {
+		oracle[i] = runLeg(cells[i], true)
+	})
+
+	for _, eng := range m.Engines {
+		idx := make([]int, 0, len(cells))
+		for i, c := range cells {
+			if c.Engine.Name == eng.Name {
+				idx = append(idx, i)
+			}
+		}
+		core.SetDefaultParallelism(eng.Parallelism)
+		core.ParallelFor(shards, len(idx), func(k int) {
+			i := idx[k]
+			engine[i] = runLeg(cells[i], false)
+		})
+	}
+
+	rep := &Report{
+		Schema:   ReportSchema,
+		Date:     time.Now().Format("20060102"),
+		BaseSeed: m.BaseSeed,
+		Shards:   shards,
+		Cells:    make([]CellResult, len(cells)),
+	}
+	for i, c := range cells {
+		cr := CellResult{
+			Family:   c.Family.Name,
+			N:        c.N,
+			Engine:   c.Engine.Name,
+			Protocol: c.Protocol.Name,
+			Seed:     c.Seed,
+			OracleNs: oracle[i].ns,
+			EngineNs: engine[i].ns,
+		}
+		o, e := oracle[i], engine[i]
+		switch {
+		case o.err != nil:
+			cr.Diverged = true
+			cr.Divergence = fmt.Sprintf("oracle leg error: %v", o.err)
+		case e.err != nil:
+			cr.Diverged = true
+			cr.Divergence = fmt.Sprintf("engine leg error: %v", e.err)
+		case o.res == nil || e.res == nil:
+			// A protocol returning (nil, nil) is a broken adapter; flag
+			// the cell rather than crash the sweep.
+			cr.Diverged = true
+			cr.Divergence = fmt.Sprintf("protocol returned no result (oracle nil=%v, engine nil=%v)",
+				o.res == nil, e.res == nil)
+		case o.edges != e.edges:
+			cr.Diverged = true
+			cr.Divergence = fmt.Sprintf("generated graphs differ: %d vs %d edges", o.edges, e.edges)
+		case o.res.Output != e.res.Output:
+			cr.Diverged = true
+			cr.Divergence = fmt.Sprintf("outputs differ: oracle %q vs engine %q", o.res.Output, e.res.Output)
+		default:
+			if d := statsDiff(o.res.Stats, e.res.Stats); d != "" {
+				cr.Diverged = true
+				cr.Divergence = "stats differ: " + d
+			}
+		}
+		if o.err == nil && o.res != nil {
+			cr.GraphEdges = o.edges
+			cr.Rounds = o.res.Stats.Rounds
+			cr.Steps = o.res.Stats.Steps
+			cr.TotalBits = o.res.Stats.TotalBits
+			cr.MaxLinkBits = o.res.Stats.MaxLinkBits
+			cr.MaxNodeBits = o.res.Stats.MaxNodeBits
+			cr.Output = o.res.Output
+		}
+		rep.Cells[i] = cr
+	}
+	rep.Summary = summarize(rep, m)
+	rep.Summary.WallNs = time.Since(wallStart).Nanoseconds()
+	return rep
+}
+
+// summarize folds the cell records into the Summary block.
+func summarize(rep *Report, m *Matrix) Summary {
+	s := Summary{Cells: len(rep.Cells)}
+	for _, f := range m.Families {
+		s.Families = append(s.Families, f.Name)
+	}
+	s.Sizes = append(s.Sizes, m.Sizes...)
+	for _, e := range m.Engines {
+		s.Engines = append(s.Engines, e.Name)
+	}
+	for _, p := range m.Protocols {
+		s.Protocols = append(s.Protocols, p.Name)
+	}
+	sort.Strings(s.Families)
+	sort.Strings(s.Engines)
+	sort.Strings(s.Protocols)
+	for _, c := range rep.Cells {
+		if c.Diverged {
+			s.Divergences++
+		}
+		s.TotalRounds += int64(c.Rounds)
+		s.TotalBits += c.TotalBits
+		s.OracleNs += c.OracleNs
+		s.EngineNs += c.EngineNs
+	}
+	return s
+}
+
+// WriteJSON writes the report to path (SCENARIOS_<date>.json by
+// convention) and returns the path actually written.
+func (rep *Report) WriteJSON(path string) (string, error) {
+	if path == "" {
+		path = fmt.Sprintf("SCENARIOS_%s.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteAndReport writes the report to path ("" = SCENARIOS_<date>.json),
+// prints the summary line to w and any divergences to errw, and returns
+// the process exit code (0 clean, 1 on divergences or a write error).
+// Both cmd entry points share it so divergence rendering cannot drift.
+func (rep *Report) WriteAndReport(path string, w, errw io.Writer) int {
+	written, err := rep.WriteJSON(path)
+	if err != nil {
+		fmt.Fprintf(errw, "scenario: %v\n", err)
+		return 1
+	}
+	s := rep.Summary
+	fmt.Fprintf(w, "scenario matrix: %d cells, %d divergences, rounds=%d bits=%d; wrote %s\n",
+		s.Cells, s.Divergences, s.TotalRounds, s.TotalBits, written)
+	if div := rep.Divergent(); len(div) > 0 {
+		fmt.Fprintf(errw, "DIVERGENCES: %d\n", len(div))
+		for _, c := range div {
+			fmt.Fprintf(errw, "  %s n=%d %s %s: %s\n", c.Family, c.N, c.Engine, c.Protocol, c.Divergence)
+		}
+		return 1
+	}
+	fmt.Fprintln(w, "  oracle and engine agree bit-for-bit on every cell")
+	return 0
+}
+
+// Divergent returns the cells that diverged (empty on a clean run).
+func (rep *Report) Divergent() []CellResult {
+	var out []CellResult
+	for _, c := range rep.Cells {
+		if c.Diverged {
+			out = append(out, c)
+		}
+	}
+	return out
+}

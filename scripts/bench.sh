@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: run the engine, circuit-evaluation,
 # GF(2) matmul and experiment benchmarks with allocation stats and emit
-# BENCH_<date>.json next to the repo root. Compare files across PRs to
-# see the trend (ns/op and allocs/op per benchmark).
+# BENCH_<date>.json next to the repo root, then run the quick scenario
+# matrix (cmd/scenariorun) and fold its summary counts into the same
+# file as a final "scenario_matrix" record (full cell records land in
+# SCENARIOS_<date>.json; schema in DESIGN.md §8). Compare files across
+# PRs to see the trend (ns/op and allocs/op per benchmark, cells and
+# divergences per matrix).
 #
 #   scripts/bench.sh             # default: 3x per benchmark
 #   BENCHTIME=10x scripts/bench.sh
 #   BENCHFILTER='BenchmarkRun' scripts/bench.sh   # engine only
 #   BENCHFILTER='CircuitEval|Mul' scripts/bench.sh  # eval engines only
+#   SCENARIOS=0 scripts/bench.sh # skip the scenario matrix
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,5 +47,23 @@ BEGIN { print "[" }
 }
 END { print "\n]" }
 ' "$tmp" > "$out"
+
+# Run the quick scenario matrix and append its summary counts to the
+# bench record, so one file tracks both performance and differential
+# coverage over time.
+if [[ "${SCENARIOS:-1}" == "1" ]]; then
+  scen="SCENARIOS_${date}.json"
+  go run ./cmd/scenariorun -quick -out "$scen"
+  summary="$(awk '/"summary": \{/,/\}/' "$scen" \
+    | grep -E '"(cells|divergences|total_rounds|total_bits)":' \
+    | tr -d ' ' | tr -d ',' | paste -sd, -)"
+  # Replace the closing bracket line with the scenario record (sed '$d'
+  # rather than a negative head -c, which is GNU-only).
+  sep=","
+  grep -q '^Benchmark' "$tmp" || sep=""
+  sed '$d' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+  printf '%s\n  {"date": "%s", "name": "scenario_matrix", %s, "detail": "%s"}\n]\n' \
+    "$sep" "$date" "$summary" "$scen" >> "$out"
+fi
 
 echo "wrote $out"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Per-package coverage floors: fail if any watched package drops below
+# the percentage it landed with (floors are set a hair under the landed
+# numbers to absorb line-count jitter; raise them when coverage rises).
+# CI runs this as the coverage job; run locally before touching the
+# watched packages.
+#
+#   scripts/coverage.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# package  floor(%)  — landed: scenario 84.5, graph 94.5, bits 73.8
+floors="
+./internal/scenario 80.0
+./internal/graph    92.0
+./internal/bits     72.0
+"
+
+fail=0
+while read -r pkg floor; do
+  [[ -z "$pkg" ]] && continue
+  line="$(go test -cover "$pkg" | tail -1)"
+  pct="$(grep -oE 'coverage: [0-9.]+%' <<< "$line" | grep -oE '[0-9.]+' || true)"
+  if [[ -z "$pct" ]]; then
+    echo "FAIL  $pkg: no coverage reported ($line)"
+    fail=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "FAIL  $pkg: coverage ${pct}% < floor ${floor}%"
+    fail=1
+  else
+    echo "ok    $pkg: coverage ${pct}% (floor ${floor}%)"
+  fi
+done <<< "$floors"
+
+exit $fail
