@@ -1,6 +1,6 @@
 // Cliquebench regenerates the quantitative content of every theorem and
 // claim of "On the Power of the Congested Clique Model" (Drucker, Kuhn,
-// Oshman; PODC 2014). Run all experiments (E1–E13 plus the EA1 ablations) or a single one:
+// Oshman; PODC 2014). Run all experiments (E1–E15 plus the EA1 ablations) or a single one:
 //
 //	cliquebench             # everything, full parameters
 //	cliquebench -exp E7     # one experiment
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID to run (E1..E14, EA1) or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID to run (E1..E15, EA1) or 'all'")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		par       = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
@@ -35,6 +35,9 @@ func main() {
 		scenarios = flag.Bool("scenarios", false, "run the scenario matrix instead of the experiments")
 		seed      = flag.Int64("seed", 1, "base seed of the scenario matrix (-scenarios)")
 		shards    = flag.Int("shards", 0, "scenario worker-pool shards: 0 = GOMAXPROCS (-scenarios)")
+		families  = flag.String("families", "", "scenario family subset, comma-separated (-scenarios)")
+		protocols = flag.String("protocols", "", "scenario protocol subset, comma-separated (-scenarios)")
+		engines   = flag.String("engines", "", "scenario engine-config subset, comma-separated (-scenarios)")
 	)
 	flag.Parse()
 	core.SetDefaultParallelism(*par)
@@ -47,7 +50,7 @@ func main() {
 		return
 	}
 	if *scenarios {
-		runScenarios(*quick, *seed, *shards)
+		runScenarios(*quick, *seed, *shards, *families, *protocols, *engines)
 		return
 	}
 	if *exp != "all" {
@@ -71,10 +74,25 @@ func run(e experiments.Experiment, quick bool) {
 	}
 }
 
-// runScenarios sweeps the differential workload matrix and writes
+// runScenarios sweeps the differential workload matrix — optionally
+// restricted to family/protocol/engine subsets — and writes
 // SCENARIOS_<date>.json (DESIGN.md §8).
-func runScenarios(quick bool, seed int64, shards int) {
-	rep := scenario.RunMatrix(scenario.DefaultMatrix(quick, seed), shards)
+func runScenarios(quick bool, seed int64, shards int, families, protocols, engines string) {
+	m := scenario.DefaultMatrix(quick, seed)
+	for _, filter := range []struct {
+		names string
+		apply func(string) error
+	}{
+		{families, m.FilterFamilies},
+		{protocols, m.FilterProtocols},
+		{engines, m.FilterEngines},
+	} {
+		if err := filter.apply(filter.names); err != nil {
+			fmt.Fprintf(os.Stderr, "%v; use scenariorun -list\n", err)
+			os.Exit(2)
+		}
+	}
+	rep := scenario.RunMatrix(m, shards)
 	if code := rep.WriteAndReport("", os.Stdout, os.Stderr); code != 0 {
 		os.Exit(code)
 	}

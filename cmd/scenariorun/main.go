@@ -5,18 +5,20 @@
 // machine-readable SCENARIOS_<date>.json (schema: DESIGN.md §8) and
 // exits nonzero on any divergence.
 //
-//	scenariorun -quick               # reduced sweep (~180 cells)
+//	scenariorun -quick               # reduced sweep (~384 cells)
 //	scenariorun                      # full sweep
-//	scenariorun -list                # show families/engines/protocols
-//	scenariorun -families gnp,rs -protocols triangle,routing
+//	scenariorun -list                # dimensions + per-protocol coverage
+//	scenariorun -families gnp,rs -protocols triangle,apsp
+//	scenariorun -engines par4-batch-b64
 //	scenariorun -seed 7 -shards 4 -out /tmp/scen.json
+//
+// All flags are documented in DESIGN.md §8.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/scenario"
 )
@@ -29,12 +31,25 @@ func main() {
 		out       = flag.String("out", "", "output path (default SCENARIOS_<date>.json)")
 		families  = flag.String("families", "", "comma-separated family subset (default: all)")
 		protocols = flag.String("protocols", "", "comma-separated protocol subset (default: all)")
-		list      = flag.Bool("list", false, "list matrix dimensions and exit")
+		engines   = flag.String("engines", "", "comma-separated engine-config subset (default: all)")
+		list      = flag.Bool("list", false, "list matrix dimensions and per-protocol coverage, then exit")
 		verbose   = flag.Bool("v", false, "print every cell, not just divergences")
 	)
 	flag.Parse()
 
 	m := scenario.DefaultMatrix(*quick, *seed)
+	if err := m.FilterFamilies(*families); err != nil {
+		fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+		os.Exit(2)
+	}
+	if err := m.FilterProtocols(*protocols); err != nil {
+		fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+		os.Exit(2)
+	}
+	if err := m.FilterEngines(*engines); err != nil {
+		fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+		os.Exit(2)
+	}
 	if *list {
 		fmt.Println("families:")
 		for _, f := range m.Families {
@@ -49,29 +64,11 @@ func main() {
 			fmt.Printf("  %-12s %s\n", p.Name, p.Desc)
 		}
 		fmt.Printf("sizes: %v\n", m.Sizes)
+		fmt.Println("coverage (per protocol × engine config):")
+		for _, line := range m.Coverage() {
+			fmt.Printf("  %s\n", line)
+		}
 		return
-	}
-	if *families != "" {
-		m.Families = m.Families[:0]
-		for _, name := range strings.Split(*families, ",") {
-			f, ok := scenario.FamilyByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown family %q; use -list\n", name)
-				os.Exit(2)
-			}
-			m.Families = append(m.Families, f)
-		}
-	}
-	if *protocols != "" {
-		m.Protocols = m.Protocols[:0]
-		for _, name := range strings.Split(*protocols, ",") {
-			p, ok := scenario.ProtocolByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown protocol %q; use -list\n", name)
-				os.Exit(2)
-			}
-			m.Protocols = append(m.Protocols, p)
-		}
 	}
 
 	rep := scenario.RunMatrix(m, *shards)

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedGnpDeterministic(t *testing.T) {
+	a := WeightedGnp(60, 0.3, 100, 42)
+	b := WeightedGnp(60, 0.3, 100, 42)
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("WeightedGnp topology not deterministic for a fixed seed")
+	}
+	for _, e := range a.Edges() {
+		if a.Weight(e[0], e[1]) != b.Weight(e[0], e[1]) {
+			t.Fatalf("edge {%d,%d} weights differ: %d vs %d",
+				e[0], e[1], a.Weight(e[0], e[1]), b.Weight(e[0], e[1]))
+		}
+	}
+	c := WeightedGnp(60, 0.3, 100, 43)
+	if a.Graph.Equal(c.Graph) {
+		t.Fatal("WeightedGnp ignores the seed")
+	}
+}
+
+func TestWeightedGnpRangeAndSymmetry(t *testing.T) {
+	wg := WeightedGnp(50, 0.4, 7, 5)
+	if wg.M() == 0 {
+		t.Fatal("G(50, 0.4) came out edgeless")
+	}
+	seen := map[uint32]bool{}
+	for _, e := range wg.Edges() {
+		w := wg.Weight(e[0], e[1])
+		if w < 1 || w > 7 {
+			t.Fatalf("edge {%d,%d} weight %d outside [1,7]", e[0], e[1], w)
+		}
+		if wg.Weight(e[1], e[0]) != w {
+			t.Fatalf("edge {%d,%d} weight asymmetric", e[0], e[1])
+		}
+		seen[w] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("only %d distinct weights over %d edges; derivation looks degenerate", len(seen), wg.M())
+	}
+	// Non-edges and the diagonal read as 0.
+	for u := 0; u < wg.N(); u++ {
+		if wg.Weight(u, u) != 0 {
+			t.Fatalf("diagonal weight at %d is %d", u, wg.Weight(u, u))
+		}
+		for v := u + 1; v < wg.N(); v++ {
+			if !wg.HasEdge(u, v) && wg.Weight(u, v) != 0 {
+				t.Fatalf("non-edge {%d,%d} has weight %d", u, v, wg.Weight(u, v))
+			}
+		}
+	}
+}
+
+func TestWeightedPowerLawShape(t *testing.T) {
+	n, m := 120, 3
+	wg := WeightedPowerLaw(n, m, 50, 11)
+	wantM := m*(m+1)/2 + (n-m-1)*m
+	if wg.N() != n || wg.M() != wantM {
+		t.Fatalf("N=%d M=%d, want %d/%d", wg.N(), wg.M(), n, wantM)
+	}
+	if wg.MaxDegree() < 3*m {
+		t.Fatalf("max degree %d too flat for preferential attachment", wg.MaxDegree())
+	}
+	for _, e := range wg.Edges() {
+		if w := wg.Weight(e[0], e[1]); w < 1 || w > 50 {
+			t.Fatalf("edge {%d,%d} weight %d outside [1,50]", e[0], e[1], w)
+		}
+	}
+	again := WeightedPowerLaw(n, m, 50, 11)
+	if !wg.Graph.Equal(again.Graph) {
+		t.Fatal("WeightedPowerLaw not deterministic")
+	}
+	for _, e := range wg.Edges() {
+		if wg.Weight(e[0], e[1]) != again.Weight(e[0], e[1]) {
+			t.Fatal("WeightedPowerLaw weights not deterministic")
+		}
+	}
+}
+
+// TestWeightedFromSeedOrderInvariant pins the property the scenario
+// matrix's differential legs rely on: weights depend only on (seed,
+// endpoints), never on edge-insertion order.
+func TestWeightedFromSeedOrderInvariant(t *testing.T) {
+	a := New(10)
+	b := New(10)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 9}, {3, 7}, {0, 9}}
+	for _, e := range edges {
+		a.AddEdge(e[0], e[1])
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		b.AddEdge(edges[i][1], edges[i][0]) // reversed order and endpoints
+	}
+	wa := WeightedFromSeed(a, 99, 1000)
+	wb := WeightedFromSeed(b, 99, 1000)
+	for _, e := range edges {
+		if wa.Weight(e[0], e[1]) != wb.Weight(e[0], e[1]) {
+			t.Fatalf("edge {%d,%d}: weight depends on insertion order", e[0], e[1])
+		}
+	}
+}
+
+func TestSetWeightPanics(t *testing.T) {
+	wg := NewWeighted(Cycle(4))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-edge", func() { wg.SetWeight(0, 2, 5) })
+	mustPanic("zero weight", func() { wg.SetWeight(0, 1, 0) })
+}
+
+func TestWeightedTinyN(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		wg := WeightedGnp(n, 0.5, 10, 3)
+		if wg.N() != n {
+			t.Fatalf("n=%d: got N=%d", n, wg.N())
+		}
+		pl := WeightedPowerLaw(n, 3, 10, rand.Int63())
+		if pl.N() != n {
+			t.Fatalf("powerlaw n=%d: got N=%d", n, pl.N())
+		}
+	}
+}

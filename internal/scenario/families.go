@@ -70,6 +70,28 @@ func DefaultFamilies() []Family {
 				return graph.Complete(n)
 			},
 		},
+		// The weighted families carry topology through the *graph.Graph
+		// matrix surface; weights are attached inside the semiring
+		// protocols with graph.WeightedFromSeed(g, protocolSeed, ·),
+		// which depends only on (seed, endpoints) — so both differential
+		// legs see identical weights on every family, and these
+		// generators produce exactly the topologies of the standalone
+		// graph.WeightedGnp/WeightedPowerLaw generators (same seeded
+		// rng) without building a weight table that would be discarded.
+		{
+			Name: "wgnp",
+			Desc: "weighted G(n, 0.3): the dense weighted family of the semiring MM protocols",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.Gnp(n, 0.3, famRng(seed))
+			},
+		},
+		{
+			Name: "wpower",
+			Desc: "weighted preferential attachment, m=2: skewed-degree weighted distances",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.PowerLaw(n, 2, famRng(seed))
+			},
+		},
 	}
 }
 

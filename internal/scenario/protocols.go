@@ -19,7 +19,9 @@ import (
 
 // DefaultProtocols is the standing protocol set: the trivial broadcast
 // triangle detector, the Theorem 7 H-detector, Lenzen routing, the
-// Theorem 2 circuit simulation, and Becker et al. reconstruction.
+// Theorem 2 circuit simulation, Becker et al. reconstruction, and the
+// three semiring MM workloads (APSP, k-hop distance product,
+// matrix-power counting — DESIGN.md §9).
 func DefaultProtocols() []Protocol {
 	return []Protocol{
 		{
@@ -46,6 +48,21 @@ func DefaultProtocols() []Protocol {
 			Name: "reconstruct",
 			Desc: "Becker et al. k-degenerate reconstruction, k = degeneracy(G)",
 			Run:  runReconstruct,
+		},
+		{
+			Name: "apsp",
+			Desc: "APSP by repeated min-plus squaring (row-broadcast MM) vs Floyd–Warshall",
+			Run:  runAPSP,
+		},
+		{
+			Name: "khop",
+			Desc: "3-hop distance product (cube-partition MM, Lenzen-routed) vs Bellman–Ford",
+			Run:  runKHop,
+		},
+		{
+			Name: "matpower",
+			Desc: "Boolean/counting matrix powers: reachability, tr(A³)/6 triangles, A² C4 counts",
+			Run:  runMatrixPower,
 		},
 	}
 }

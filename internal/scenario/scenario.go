@@ -21,6 +21,8 @@ package scenario
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -142,6 +144,103 @@ func DefaultMatrix(quick bool, baseSeed int64) *Matrix {
 		m.Engines = append(m.Engines, NarrowEngine)
 	}
 	return m
+}
+
+// FilterFamilies restricts the matrix to a comma-separated family subset.
+func (m *Matrix) FilterFamilies(names string) error {
+	if names == "" {
+		return nil
+	}
+	m.Families = m.Families[:0]
+	for _, name := range strings.Split(names, ",") {
+		f, ok := FamilyByName(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown family %q", strings.TrimSpace(name))
+		}
+		m.Families = append(m.Families, f)
+	}
+	return nil
+}
+
+// FilterProtocols restricts the matrix to a comma-separated protocol subset.
+func (m *Matrix) FilterProtocols(names string) error {
+	if names == "" {
+		return nil
+	}
+	m.Protocols = m.Protocols[:0]
+	for _, name := range strings.Split(names, ",") {
+		p, ok := ProtocolByName(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown protocol %q", strings.TrimSpace(name))
+		}
+		m.Protocols = append(m.Protocols, p)
+	}
+	return nil
+}
+
+// FilterEngines restricts the matrix to a comma-separated engine-config
+// subset, resolved against the full standing set — so `-quick -engines
+// par2-b16` deliberately pulls the narrow config into a quick sweep.
+func (m *Matrix) FilterEngines(names string) error {
+	if names == "" {
+		return nil
+	}
+	m.Engines = m.Engines[:0]
+	for _, name := range strings.Split(names, ",") {
+		e, ok := EngineByName(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown engine config %q", strings.TrimSpace(name))
+		}
+		m.Engines = append(m.Engines, e)
+	}
+	return nil
+}
+
+// EngineByName resolves an engine configuration from the standing set
+// (quick and full matrices combined).
+func EngineByName(name string) (EngineConfig, bool) {
+	for _, e := range []EngineConfig{ParEngine, ParBatchEngine, NarrowEngine} {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return EngineConfig{}, false
+}
+
+// Coverage reports, per protocol, which engine configurations its cells
+// run under and how many cells that is — the per-protocol engine-config
+// coverage `scenariorun -list` prints. It aggregates over Expand rather
+// than assuming the matrix is a full cross product, so it stays correct
+// if the sweep ever becomes ragged.
+func (m *Matrix) Coverage() []string {
+	type agg struct {
+		engines map[string]bool
+		cells   int
+	}
+	byProto := map[string]*agg{}
+	order := []string{}
+	for _, c := range m.Expand() {
+		a := byProto[c.Protocol.Name]
+		if a == nil {
+			a = &agg{engines: map[string]bool{}}
+			byProto[c.Protocol.Name] = a
+			order = append(order, c.Protocol.Name)
+		}
+		a.engines[c.Engine.Name] = true
+		a.cells++
+	}
+	out := make([]string, 0, len(order))
+	for _, name := range order {
+		a := byProto[name]
+		engines := make([]string, 0, len(a.engines))
+		for e := range a.engines {
+			engines = append(engines, e)
+		}
+		sort.Strings(engines)
+		out = append(out, fmt.Sprintf("%-12s %d cells over engines %s",
+			name, a.cells, strings.Join(engines, ", ")))
+	}
+	return out
 }
 
 // The standing engine configurations. Worker counts are pinned above 1

@@ -243,6 +243,79 @@ func TestWriteAndReport(t *testing.T) {
 	}
 }
 
+func TestFilterHelpers(t *testing.T) {
+	m := DefaultMatrix(true, 1)
+	if err := m.FilterFamilies("wgnp, gnp"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Families) != 2 || m.Families[0].Name != "wgnp" || m.Families[1].Name != "gnp" {
+		t.Fatalf("family filter picked %+v", m.Families)
+	}
+	if err := m.FilterProtocols("apsp,matpower"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Protocols) != 2 {
+		t.Fatalf("protocol filter picked %d entries", len(m.Protocols))
+	}
+	// The narrow config is full-only but must stay reachable from quick.
+	if err := m.FilterEngines("par2-b16"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Engines) != 1 || m.Engines[0].Name != "par2-b16" {
+		t.Fatalf("engine filter picked %+v", m.Engines)
+	}
+	// Empty filters are no-ops; unknown names are errors.
+	if err := m.FilterFamilies(""); err != nil || len(m.Families) != 2 {
+		t.Fatal("empty family filter must be a no-op")
+	}
+	for _, err := range []error{
+		m.FilterFamilies("nope"), m.FilterProtocols("nope"), m.FilterEngines("nope"),
+	} {
+		if err == nil {
+			t.Fatal("unknown name accepted by a filter")
+		}
+	}
+}
+
+func TestCoverageListsEveryProtocol(t *testing.T) {
+	m := DefaultMatrix(false, 1)
+	lines := m.Coverage()
+	if len(lines) != len(m.Protocols) {
+		t.Fatalf("coverage has %d lines for %d protocols", len(lines), len(m.Protocols))
+	}
+	wantCells := len(m.Families) * len(m.Sizes) * len(m.Engines)
+	for i, line := range lines {
+		if !strings.Contains(line, m.Protocols[i].Name) {
+			t.Fatalf("coverage line %d %q does not name protocol %s", i, line, m.Protocols[i].Name)
+		}
+		if !strings.Contains(line, fmt.Sprintf("%d cells", wantCells)) {
+			t.Fatalf("coverage line %q missing the %d-cell count", line, wantCells)
+		}
+		for _, e := range m.Engines {
+			if !strings.Contains(line, e.Name) {
+				t.Fatalf("coverage line %q missing engine %s", line, e.Name)
+			}
+		}
+	}
+}
+
+func TestQuickMatrixMeetsAcceptanceFloor(t *testing.T) {
+	m := DefaultMatrix(true, 1)
+	if cells := len(m.Expand()); cells < 230 {
+		t.Fatalf("quick matrix has %d cells, acceptance floor is 230", cells)
+	}
+	for _, name := range []string{"apsp", "khop", "matpower"} {
+		if _, ok := ProtocolByName(name); !ok {
+			t.Fatalf("semiring protocol %s not registered", name)
+		}
+	}
+	for _, name := range []string{"wgnp", "wpower"} {
+		if _, ok := FamilyByName(name); !ok {
+			t.Fatalf("weighted family %s not registered", name)
+		}
+	}
+}
+
 func TestFamiliesDeterministicAndSized(t *testing.T) {
 	for _, f := range DefaultFamilies() {
 		for _, n := range []int{12, 18, 24} {

@@ -1,0 +1,62 @@
+package semiring
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMinPlusMul differentially fuzzes the blocked min-plus kernel against
+// the ⊕/⊗ triple-loop oracle. The input stream encodes the three
+// dimensions and then raw little-endian entries; leftover cells are
+// filled with a rotating pattern that includes Inf and the saturation
+// band just below it, so the clamp path is exercised even on short seeds.
+func FuzzMinPlusMul(f *testing.F) {
+	// Saturation-heavy seeds: all-Inf, the Inf-1 band (sums clamp), a
+	// mixed finite/infinite block, and a ragged-dimension case.
+	f.Add([]byte{4, 4, 4, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{3, 5, 2, 0xfe, 0xff, 0xff, 0xff, 0xfe, 0xff, 0xff, 0xff, 0x01, 0x00, 0x00, 0x00})
+	f.Add([]byte{1, 7, 3, 0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{8, 1, 8, 0x05, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		rows := int(data[0])%12 + 1
+		inner := int(data[1])%12 + 1
+		cols := int(data[2])%12 + 1
+		data = data[3:]
+		// fill patterns rotate through the interesting bands: Inf, the
+		// saturation edge, zero, and small finite values.
+		patterns := []uint32{Inf, Inf - 1, Inf - 2, 0, 1, 1 << 30, 97}
+		next := func(i int) uint32 {
+			if len(data) >= 4 {
+				v := binary.LittleEndian.Uint32(data)
+				data = data[4:]
+				return v
+			}
+			return patterns[i%len(patterns)]
+		}
+		a := NewMatrix(rows, inner, 0)
+		b := NewMatrix(inner, cols, 0)
+		for i := range a.a {
+			a.a[i] = next(i)
+		}
+		for i := range b.a {
+			b.a[i] = next(i + 3)
+		}
+		want := NaiveMul(MinPlus, a, b)
+		got := mulBlockedMinPlus(a, b)
+		if !got.Equal(want) {
+			t.Fatalf("blocked min-plus kernel diverges from the oracle on %dx%d · %dx%d",
+				rows, inner, inner, cols)
+		}
+		// The counting kernel rides the same harness: its saturation
+		// boundary is the same uint32 ceiling.
+		wantC := NaiveMul(Counting, a, b)
+		gotC := mulBlockedCount(a, b)
+		if !gotC.Equal(wantC) {
+			t.Fatalf("blocked counting kernel diverges from the oracle on %dx%d · %dx%d",
+				rows, inner, inner, cols)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package semiring
+
+import "repro/internal/f2"
+
+// kTile is the k-panel width of the blocked kernels: one panel of B rows
+// (kTile × cols × 4 bytes) stays cache-resident while every row of A
+// streams over it.
+const kTile = 64
+
+// mulBlockedMinPlus is the min-plus kernel: i-k-j loop order with k-panel
+// tiling, an Inf zero-skip on A entries (the additive identity is
+// absorbing, so an Inf a[i][k] contributes nothing to row i), and a
+// branch-light inner loop over the contiguous B row. Exactly equivalent
+// to NaiveMul(MinPlus, ·, ·), saturation included: a candidate sum ≥ Inf
+// can never beat a current entry ≤ Inf, which is precisely the saturating
+// Mul followed by min.
+func mulBlockedMinPlus(a, b *Matrix) *Matrix {
+	mustChain(a, b)
+	out := NewMatrix(a.rows, b.cols, Inf)
+	for k0 := 0; k0 < a.cols; k0 += kTile {
+		k1 := k0 + kTile
+		if k1 > a.cols {
+			k1 = a.cols
+		}
+		for i := 0; i < a.rows; i++ {
+			arow := a.Row(i)
+			crow := out.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := arow[k]
+				if aik == Inf {
+					continue
+				}
+				av := uint64(aik)
+				brow := b.Row(k)
+				for j, bv := range brow {
+					s := av + uint64(bv) // bv = Inf gives s >= Inf: never taken
+					if s < uint64(crow[j]) {
+						crow[j] = uint32(s)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mulBlockedCount is the counting kernel: same blocking as min-plus, with
+// a zero-skip on A entries and saturating multiply-accumulate. Exactly
+// equivalent to NaiveMul(Counting, ·, ·): per-term products clamp at
+// maxCount before the (also clamping) accumulation, in the same k order.
+func mulBlockedCount(a, b *Matrix) *Matrix {
+	mustChain(a, b)
+	out := NewMatrix(a.rows, b.cols, 0)
+	for k0 := 0; k0 < a.cols; k0 += kTile {
+		k1 := k0 + kTile
+		if k1 > a.cols {
+			k1 = a.cols
+		}
+		for i := 0; i < a.rows; i++ {
+			arow := a.Row(i)
+			crow := out.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				av := uint64(aik)
+				brow := b.Row(k)
+				for j, bv := range brow {
+					if bv == 0 {
+						continue
+					}
+					p := av * uint64(bv)
+					if p > uint64(maxCount) {
+						p = uint64(maxCount)
+					}
+					s := uint64(crow[j]) + p
+					if s > uint64(maxCount) {
+						s = uint64(maxCount)
+					}
+					crow[j] = uint32(s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mulPacked is the Boolean/GF(2) kernel: entries are packed 64 per word
+// into square f2 matrices padded to the enclosing dimension, multiplied
+// with the four-Russians kernels of internal/f2, and unpacked. The packing
+// mirrors each ring's own coercion — Boolean treats any nonzero entry as 1
+// (matching boolRing.Mul), GF(2) reduces mod 2 (matching gf2Ring.Mul) —
+// so the kernel agrees with NaiveMul on every uint32 input, not just 0/1.
+// Padding rows/columns are zero, which is absorbing in both rings, so the
+// crop is exact.
+func mulPacked(a, b *Matrix, boolean bool) *Matrix {
+	mustChain(a, b)
+	s := a.rows
+	if a.cols > s {
+		s = a.cols
+	}
+	if b.cols > s {
+		s = b.cols
+	}
+	fa := packF2(a, s, boolean)
+	fb := packF2(b, s, boolean)
+	var fc *f2.Matrix
+	if boolean {
+		fc = f2.BoolMulM4R(fa, fb)
+	} else {
+		fc = f2.MulM4R(fa, fb)
+	}
+	out := NewMatrix(a.rows, b.cols, 0)
+	for i := 0; i < a.rows; i++ {
+		row := out.Row(i)
+		fr := fc.Row(i)
+		for j := range row {
+			if fr[j/64]&(1<<uint(j%64)) != 0 {
+				row[j] = 1
+			}
+		}
+	}
+	return out
+}
+
+// packF2 word-packs m into an s×s f2 matrix (s ≥ dims): nonzero ⇒ 1 for
+// the Boolean ring, v mod 2 for GF(2).
+func packF2(m *Matrix, s int, boolean bool) *f2.Matrix {
+	out := f2.New(s)
+	words := make([]uint64, (s+63)/64)
+	for i := 0; i < m.rows; i++ {
+		for w := range words {
+			words[w] = 0
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			if boolean {
+				if v == 0 {
+					continue
+				}
+			} else if v&1 == 0 {
+				continue
+			}
+			words[j/64] |= 1 << uint(j%64)
+		}
+		out.SetRowWords(i, words)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package semiring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Matrix is a dense rectangular matrix of uint32 semiring entries, stored
+// row-major in one backing slice. The same type serves every backend; the
+// Boolean/GF(2) kernels pack it 64 entries per word on entry.
+type Matrix struct {
+	rows, cols int
+	a          []uint32
+}
+
+// NewMatrix returns a rows×cols matrix with every entry set to fill
+// (pass sr.Zero() for the ring's additive identity).
+func NewMatrix(rows, cols int, fill uint32) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("semiring: negative dimensions %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, a: make([]uint32, rows*cols)}
+	if fill != 0 {
+		for i := range m.a {
+			m.a[i] = fill
+		}
+	}
+	return m
+}
+
+// Rows reports the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At reads entry (i,j).
+func (m *Matrix) At(i, j int) uint32 {
+	m.check(i, j)
+	return m.a[i*m.cols+j]
+}
+
+// Set writes entry (i,j).
+func (m *Matrix) Set(i, j int, v uint32) {
+	m.check(i, j)
+	m.a[i*m.cols+j] = v
+}
+
+// Row returns row i's backing slice; mutations write through.
+func (m *Matrix) Row(i int) []uint32 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("semiring: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	return m.a[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{rows: m.rows, cols: m.cols, a: make([]uint32, len(m.a))}
+	copy(out.a, m.a)
+	return out
+}
+
+// Equal reports dimension and entry-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.a {
+		if v != o.a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns an FNV-64a digest of the dimensions and entries — the
+// compact canonical form the scenario matrix diffs between legs.
+func (m *Matrix) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:])
+	}
+	put(uint32(m.rows))
+	put(uint32(m.cols))
+	for _, v := range m.a {
+		put(v)
+	}
+	return h.Sum64()
+}
+
+// Random returns a rows×cols matrix with uniform entries in [0, maxV]
+// (maxV = 0 draws over the full uint32 range, exercising saturation).
+func Random(rows, cols int, maxV uint32, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols, 0)
+	for i := range m.a {
+		if maxV == 0 {
+			m.a[i] = rng.Uint32()
+		} else {
+			m.a[i] = rng.Uint32() % (maxV + 1)
+		}
+	}
+	return m
+}
+
+// Identity returns the n×n multiplicative identity of sr: One on the
+// diagonal, Zero elsewhere.
+func Identity(sr Semiring, n int) *Matrix {
+	m := NewMatrix(n, n, sr.Zero())
+	for i := 0; i < n; i++ {
+		m.Set(i, i, sr.One())
+	}
+	return m
+}
+
+// AdjacencyMatrix returns g's n×n 0/1 adjacency matrix — the input of the
+// Boolean, GF(2) and counting power workloads.
+func AdjacencyMatrix(g *graph.Graph) *Matrix {
+	n := g.N()
+	m := NewMatrix(n, n, 0)
+	for u := 0; u < n; u++ {
+		row := m.Row(u)
+		for _, v := range g.Neighbors(u) {
+			row[v] = 1
+		}
+	}
+	return m
+}
+
+// DistanceMatrix returns the min-plus weight matrix of wg: 0 on the
+// diagonal, the edge weight on edges, Inf on non-edges. Its min-plus
+// powers are the k-hop distance products and its (n-1)-th power is APSP.
+func DistanceMatrix(wg *graph.Weighted) *Matrix {
+	n := wg.N()
+	m := NewMatrix(n, n, 0)
+	for u := 0; u < n; u++ {
+		row := m.Row(u)
+		for v := 0; v < n; v++ {
+			switch {
+			case u == v:
+				row[v] = 0
+			case wg.HasEdge(u, v):
+				row[v] = wg.Weight(u, v)
+			default:
+				row[v] = Inf
+			}
+		}
+	}
+	return m
+}
+
+// NaiveMul is the ⊕/⊗ triple loop over sr — the oracle every blocked
+// kernel and both clique protocols are differentially tested against.
+func NaiveMul(sr Semiring, a, b *Matrix) *Matrix {
+	mustChain(a, b)
+	out := NewMatrix(a.rows, b.cols, sr.Zero())
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.cols; j++ {
+			acc := sr.Zero()
+			for k := 0; k < a.cols; k++ {
+				acc = sr.Add(acc, sr.Mul(arow[k], b.a[k*b.cols+j]))
+			}
+			orow[j] = acc
+		}
+	}
+	return out
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("semiring: index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+func mustChain(a, b *Matrix) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("semiring: dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+}

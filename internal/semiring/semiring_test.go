@@ -1,0 +1,223 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ringSamples are the entry values the axiom checks quantify over,
+// including both saturation boundaries.
+var ringSamples = []uint32{0, 1, 2, 3, 7, 255, 1 << 16, Inf - 2, Inf - 1, Inf}
+
+func TestRingAxioms(t *testing.T) {
+	for _, sr := range Rings() {
+		for _, a := range ringSamples {
+			if got := sr.Add(a, sr.Zero()); got != sr.Add(sr.Zero(), a) {
+				t.Fatalf("%s: Add not commutative with zero at %d", sr.Name(), a)
+			}
+			for _, b := range ringSamples {
+				if sr.Add(a, b) != sr.Add(b, a) {
+					t.Fatalf("%s: Add(%d,%d) not commutative", sr.Name(), a, b)
+				}
+				if sr.Mul(a, sr.Zero()) != sr.Zero() || sr.Mul(sr.Zero(), b) != sr.Zero() {
+					t.Fatalf("%s: Zero not absorbing at (%d,%d)", sr.Name(), a, b)
+				}
+				for _, c := range ringSamples {
+					if sr.Add(sr.Add(a, b), c) != sr.Add(a, sr.Add(b, c)) {
+						t.Fatalf("%s: Add not associative at (%d,%d,%d)", sr.Name(), a, b, c)
+					}
+					if sr.Mul(sr.Mul(a, b), c) != sr.Mul(a, sr.Mul(b, c)) {
+						t.Fatalf("%s: Mul not associative at (%d,%d,%d)", sr.Name(), a, b, c)
+					}
+					if sr.Mul(a, sr.Add(b, c)) != sr.Add(sr.Mul(a, b), sr.Mul(a, c)) {
+						t.Fatalf("%s: Mul does not distribute at (%d,%d,%d)", sr.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingIdentities(t *testing.T) {
+	for _, sr := range Rings() {
+		// One must be multiplicatively neutral on canonical entries (the
+		// 0/1 rings coerce, so quantify over the ring's own value set).
+		vals := []uint32{sr.Zero(), sr.One()}
+		if sr.EntryBits() == 32 {
+			vals = append(vals, 2, 900, Inf-1)
+		}
+		for _, a := range vals {
+			if sr.Mul(a, sr.One()) != a || sr.Mul(sr.One(), a) != a {
+				t.Fatalf("%s: One not neutral at %d", sr.Name(), a)
+			}
+			if sr.Add(a, sr.Zero()) != a {
+				t.Fatalf("%s: Zero not neutral at %d", sr.Name(), a)
+			}
+		}
+	}
+}
+
+// ringRandom draws matrices over each ring's natural value range, with
+// min-plus and counting biased toward their absorbing/saturating values.
+func ringRandom(sr Semiring, rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols, 0)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			switch sr.Name() {
+			case "boolean", "gf2":
+				row[j] = rng.Uint32() % 2
+			case "minplus":
+				switch rng.Intn(4) {
+				case 0:
+					row[j] = Inf
+				case 1:
+					row[j] = Inf - uint32(rng.Intn(3)) // saturation edge
+				default:
+					row[j] = rng.Uint32() % 1000
+				}
+			default: // counting
+				switch rng.Intn(4) {
+				case 0:
+					row[j] = maxCount - uint32(rng.Intn(3))
+				default:
+					row[j] = rng.Uint32() % 64
+				}
+			}
+		}
+	}
+	return m
+}
+
+func TestKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := [][3]int{{1, 1, 1}, {1, 8, 3}, {5, 5, 5}, {7, 3, 9}, {16, 16, 16}, {33, 65, 17}, {64, 64, 64}, {70, 70, 70}}
+	for _, sr := range Rings() {
+		for _, d := range dims {
+			a := ringRandom(sr, d[0], d[1], rng)
+			b := ringRandom(sr, d[1], d[2], rng)
+			want := NaiveMul(sr, a, b)
+			got := sr.MulLocal(a, b)
+			if !got.Equal(want) {
+				t.Fatalf("%s: MulLocal != NaiveMul at %v", sr.Name(), d)
+			}
+		}
+	}
+}
+
+// TestKernelsOnCoercedEntries pins the non-canonical-entry semantics: the
+// packed 0/1 kernels must coerce exactly the way the ring's Mul does
+// (Boolean: nonzero, GF(2): mod 2).
+func TestKernelsOnCoercedEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := Random(9, 9, 0, rng) // full uint32 range
+	b := Random(9, 9, 0, rng)
+	for _, sr := range []Semiring{Boolean, GF2} {
+		want := NaiveMul(sr, a, b)
+		if got := sr.MulLocal(a, b); !got.Equal(want) {
+			t.Fatalf("%s: kernel coerces differently from the ring on arbitrary entries", sr.Name())
+		}
+	}
+}
+
+func TestMinPlusSaturation(t *testing.T) {
+	// A chain of near-Inf weights must clamp, never wrap.
+	a := NewMatrix(2, 2, Inf)
+	a.Set(0, 0, Inf-1)
+	a.Set(0, 1, 3)
+	a.Set(1, 1, 5)
+	b := a.Clone()
+	for _, mul := range []LocalMul{NaiveKernel(MinPlus), MinPlus.MulLocal} {
+		c := mul(a, b)
+		if c.At(0, 0) != Inf {
+			t.Fatalf("(Inf-1)+(Inf-1) must saturate to Inf, got %d", c.At(0, 0))
+		}
+		if c.At(0, 1) != 8 {
+			t.Fatalf("finite path through (0,1)->(1,1) lost: got %d, want 8", c.At(0, 1))
+		}
+	}
+	if MinPlus.Mul(Inf, 0) != Inf || MinPlus.Mul(0, Inf) != Inf {
+		t.Fatal("Inf must absorb under tropical multiplication")
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	if Counting.Mul(1<<20, 1<<20) != maxCount {
+		t.Fatal("counting Mul must clamp at the ceiling")
+	}
+	if Counting.Add(maxCount, 1) != maxCount {
+		t.Fatal("counting Add must clamp at the ceiling")
+	}
+	if Counting.Mul(maxCount, 0) != 0 {
+		t.Fatal("0 must absorb even at the ceiling")
+	}
+}
+
+func TestIdentityNeutralUnderMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sr := range Rings() {
+		m := ringRandom(sr, 12, 12, rng)
+		id := Identity(sr, 12)
+		if !sr.MulLocal(m, id).Equal(m) || !sr.MulLocal(id, m).Equal(m) {
+			t.Fatalf("%s: identity is not neutral under MulLocal", sr.Name())
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4, 9)
+	if m.Rows() != 3 || m.Cols() != 4 || m.At(2, 3) != 9 {
+		t.Fatalf("fill constructor broken: %dx%d at=%d", m.Rows(), m.Cols(), m.At(2, 3))
+	}
+	m.Set(1, 2, 77)
+	cl := m.Clone()
+	if !cl.Equal(m) {
+		t.Fatal("clone not equal")
+	}
+	cl.Set(0, 0, 1)
+	if m.At(0, 0) == 1 {
+		t.Fatal("clone aliases the original")
+	}
+	if m.Hash() == cl.Hash() {
+		t.Fatal("hash blind to an entry change")
+	}
+	if NewMatrix(3, 4, 0).Equal(NewMatrix(4, 3, 0)) {
+		t.Fatal("dimension mismatch reported equal")
+	}
+}
+
+func TestRingByName(t *testing.T) {
+	for _, sr := range Rings() {
+		got, ok := RingByName(sr.Name())
+		if !ok || got.Name() != sr.Name() {
+			t.Fatalf("RingByName(%q) failed", sr.Name())
+		}
+	}
+	if _, ok := RingByName("no-such-ring"); ok {
+		t.Fatal("unknown ring resolved")
+	}
+}
+
+// TestAllocRegressionSemiring is the allocation-regression budget wired
+// into CI: the blocked kernels must stay O(1) allocations per product
+// (the output matrix and nothing per entry or per row).
+func TestAllocRegressionSemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := ringRandom(MinPlus, 96, 96, rng)
+	b := ringRandom(MinPlus, 96, 96, rng)
+	if allocs := testing.AllocsPerRun(10, func() { mulBlockedMinPlus(a, b) }); allocs > 4 {
+		t.Errorf("min-plus kernel: %.0f allocs/op, want O(1)", allocs)
+	}
+	ca := ringRandom(Counting, 96, 96, rng)
+	cb := ringRandom(Counting, 96, 96, rng)
+	if allocs := testing.AllocsPerRun(10, func() { mulBlockedCount(ca, cb) }); allocs > 4 {
+		t.Errorf("counting kernel: %.0f allocs/op, want O(1)", allocs)
+	}
+	// The packed kernels pay one f2 pack/unpack per operand — still a
+	// constant number of slabs, never per-entry garbage.
+	ba := ringRandom(Boolean, 96, 96, rng)
+	bb := ringRandom(Boolean, 96, 96, rng)
+	if allocs := testing.AllocsPerRun(10, func() { Boolean.MulLocal(ba, bb) }); allocs > 24 {
+		t.Errorf("packed boolean kernel: %.0f allocs/op, want O(1) slabs", allocs)
+	}
+}

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: run the engine, circuit-evaluation,
-# GF(2) matmul and experiment benchmarks with allocation stats and emit
-# BENCH_<date>.json next to the repo root, then run the quick scenario
-# matrix (cmd/scenariorun) and fold its summary counts into the same
-# file as a final "scenario_matrix" record (full cell records land in
-# SCENARIOS_<date>.json; schema in DESIGN.md §8). Compare files across
-# PRs to see the trend (ns/op and allocs/op per benchmark, cells and
-# divergences per matrix).
+# GF(2) matmul, semiring-kernel and experiment benchmarks with allocation
+# stats and emit BENCH_<date>.json next to the repo root, then fold in
+# the full E15 naive-vs-cube MM record at n=64 ("e15_semiring_mm") and
+# the quick scenario matrix summary ("scenario_matrix"; full cell
+# records land in SCENARIOS_<date>.json; schema in DESIGN.md §8).
+# Compare files across PRs to see the trend (ns/op and allocs/op per
+# benchmark, cells and divergences per matrix, the MM cost crossover).
 #
 #   scripts/bench.sh             # default: 3x per benchmark
 #   BENCHTIME=10x scripts/bench.sh
 #   BENCHFILTER='BenchmarkRun' scripts/bench.sh   # engine only
 #   BENCHFILTER='CircuitEval|Mul' scripts/bench.sh  # eval engines only
 #   SCENARIOS=0 scripts/bench.sh # skip the scenario matrix
+#   E15=0 scripts/bench.sh       # skip the full E15 MM ablation
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,7 +26,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ ./internal/f2/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
@@ -48,6 +49,32 @@ BEGIN { print "[" }
 END { print "\n]" }
 ' "$tmp" > "$out"
 
+# append_record adds one JSON object to the top-level array in $out,
+# inserting the separating comma only when a record precedes it — every
+# record carries a "name" key, so its presence is the emptiness test
+# (the bare array prints as "[", a blank line, "]", which makes
+# line-based probing fragile). sed '$d' strips the closing bracket
+# (a negative head -c would be GNU-only).
+append_record() {
+  local record="$1" sep=","
+  grep -q '"name"' "$out" || sep=""
+  sed '$d' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+  printf '%s\n  %s\n]\n' "$sep" "$record" >> "$out"
+}
+
+# Run the full E15 semiring MM ablation (the quick sweep stops at n=16;
+# the acceptance point is n=64) and fold its n=64 record line into the
+# bench file: naive vs cube rounds/bits and the rounds·bits cost ratio.
+if [[ "${E15:-1}" == "1" ]]; then
+  e15="$(go run ./cmd/cliquebench -exp E15 | grep '^E15RECORD n=64 ' | tail -1)"
+  if [[ -n "$e15" ]]; then
+    fields="$(sed 's/^E15RECORD //' <<< "$e15" \
+      | tr ' ' '\n' | awk -F= '{printf "\"%s\": %s, ", $1, $2}' | sed 's/, $//')"
+    append_record "{\"date\": \"${date}\", \"name\": \"e15_semiring_mm\", ${fields}}"
+    echo "folded E15 n=64 record into $out"
+  fi
+fi
+
 # Run the quick scenario matrix and append its summary counts to the
 # bench record, so one file tracks both performance and differential
 # coverage over time.
@@ -57,13 +84,7 @@ if [[ "${SCENARIOS:-1}" == "1" ]]; then
   summary="$(awk '/"summary": \{/,/\}/' "$scen" \
     | grep -E '"(cells|divergences|total_rounds|total_bits)":' \
     | tr -d ' ' | tr -d ',' | paste -sd, -)"
-  # Replace the closing bracket line with the scenario record (sed '$d'
-  # rather than a negative head -c, which is GNU-only).
-  sep=","
-  grep -q '^Benchmark' "$tmp" || sep=""
-  sed '$d' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
-  printf '%s\n  {"date": "%s", "name": "scenario_matrix", %s, "detail": "%s"}\n]\n' \
-    "$sep" "$date" "$summary" "$scen" >> "$out"
+  append_record "{\"date\": \"${date}\", \"name\": \"scenario_matrix\", ${summary}, \"detail\": \"${scen}\"}"
 fi
 
 echo "wrote $out"
