@@ -54,6 +54,7 @@ func BenchmarkE11NOFTriangles(b *testing.B)     { runExperiment(b, "E11") }
 func BenchmarkE12CountingBound(b *testing.B)    { runExperiment(b, "E12") }
 func BenchmarkE13Barrier(b *testing.B)          { runExperiment(b, "E13") }
 func BenchmarkE15SemiringMM(b *testing.B)       { runExperiment(b, "E15") }
+func BenchmarkE16SketchCC(b *testing.B)         { runExperiment(b, "E16") }
 func BenchmarkEA1Ablations(b *testing.B)        { runExperiment(b, "EA1") }
 
 // Focused micro-benchmarks on the primitive operations behind the tables.

@@ -1,6 +1,6 @@
 // Cliquebench regenerates the quantitative content of every theorem and
 // claim of "On the Power of the Congested Clique Model" (Drucker, Kuhn,
-// Oshman; PODC 2014). Run all experiments (E1–E15 plus the EA1 ablations) or a single one:
+// Oshman; PODC 2014). Run all experiments (E1–E16 plus the EA1 ablations) or a single one:
 //
 //	cliquebench             # everything, full parameters
 //	cliquebench -exp E7     # one experiment
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID to run (E1..E15, EA1) or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID to run (E1..E16, EA1) or 'all'")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		par       = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")

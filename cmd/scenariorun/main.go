@@ -5,7 +5,7 @@
 // machine-readable SCENARIOS_<date>.json (schema: DESIGN.md §8) and
 // exits nonzero on any divergence.
 //
-//	scenariorun -quick               # reduced sweep (~384 cells)
+//	scenariorun -quick               # reduced sweep (~594 cells)
 //	scenariorun                      # full sweep
 //	scenariorun -list                # dimensions + per-protocol coverage
 //	scenariorun -families gnp,rs -protocols triangle,apsp
@@ -51,23 +51,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *list {
-		fmt.Println("families:")
-		for _, f := range m.Families {
-			fmt.Printf("  %-10s %s\n", f.Name, f.Desc)
-		}
-		fmt.Println("engines:")
-		for _, e := range m.Engines {
-			fmt.Printf("  %-14s parallelism=%d batch=%v bandwidth=%d\n", e.Name, e.Parallelism, e.Batch, e.Bandwidth)
-		}
-		fmt.Println("protocols:")
-		for _, p := range m.Protocols {
-			fmt.Printf("  %-12s %s\n", p.Name, p.Desc)
-		}
-		fmt.Printf("sizes: %v\n", m.Sizes)
-		fmt.Println("coverage (per protocol × engine config):")
-		for _, line := range m.Coverage() {
-			fmt.Printf("  %s\n", line)
-		}
+		// Sorted deterministically (scenario.Matrix.WriteList); pinned by
+		// the list.golden test.
+		m.WriteList(os.Stdout)
 		return
 	}
 

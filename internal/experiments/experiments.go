@@ -37,6 +37,7 @@ var All = []Experiment{
 	{"E13", "Section 2 barrier: the circuit bounds clique lower bounds must beat", E13Barrier},
 	{"E14", "evaluation-engine ablation: scalar vs dense vs bitsliced (DESIGN.md §7)", E14EvalEngines},
 	{"E15", "semiring MM ablation: naive row-broadcast vs cube partition (DESIGN.md §9)", E15SemiringMM},
+	{"E16", "ℓ0-sketch connectivity: sketch Borůvka vs broadcast baseline (DESIGN.md §10)", E16SketchConnectivity},
 	{"EA1", "ablations over the reproduction's design choices (DESIGN.md §4)", EA1Ablations},
 }
 

@@ -164,6 +164,35 @@ func PowerLaw(n, m int, rng *rand.Rand) *Graph {
 	return g
 }
 
+// ComponentsGnp returns a graph with exactly k connected components:
+// the vertices split into k near-equal contiguous blocks, each block is
+// a random spanning tree plus G(block, p) extra edges, and no edge
+// crosses blocks. The disconnected-components family of the sketch
+// connectivity protocols (DESIGN.md §10); k is capped at n.
+func ComponentsGnp(n, k int, p float64, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	g := New(n)
+	for b := 0; b < k; b++ {
+		lo, hi := b*n/k, (b+1)*n/k
+		for v := lo + 1; v < hi; v++ {
+			g.AddEdge(v, lo+rng.Intn(v-lo))
+		}
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if rng.Float64() < p {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
 // PlantedGnp returns G(n, p) with `copies` random copies of the pattern h
 // planted on top (the planted-H family of the scenario matrix), together
 // with the vertex sets used for the plants.

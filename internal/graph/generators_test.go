@@ -94,3 +94,66 @@ func TestWithIsolated(t *testing.T) {
 		t.Fatal("WithIsolated aliases the input graph")
 	}
 }
+
+func TestComponentsGnpShape(t *testing.T) {
+	countComponents := func(g *Graph) int {
+		seen := make([]bool, g.N())
+		comps := 0
+		for s := 0; s < g.N(); s++ {
+			if seen[s] {
+				continue
+			}
+			comps++
+			stack := []int{s}
+			seen[s] = true
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range g.Neighbors(v) {
+					if !seen[u] {
+						seen[u] = true
+						stack = append(stack, u)
+					}
+				}
+			}
+		}
+		return comps
+	}
+	for _, tc := range []struct{ n, k int }{{12, 1}, {21, 3}, {24, 4}, {10, 10}, {7, 20}} {
+		rng := rand.New(rand.NewSource(int64(tc.n*100 + tc.k)))
+		g := ComponentsGnp(tc.n, tc.k, 0.3, rng)
+		wantK := tc.k
+		if wantK > tc.n {
+			wantK = tc.n
+		}
+		if got := countComponents(g); got != wantK {
+			t.Fatalf("ComponentsGnp(%d,%d): %d components, want %d", tc.n, tc.k, got, wantK)
+		}
+		// No cross-block edges: blocks are the ranges b*n/k..(b+1)*n/k.
+		for _, e := range g.Edges() {
+			same := false
+			for b := 0; b < wantK; b++ {
+				lo, hi := b*tc.n/wantK, (b+1)*tc.n/wantK
+				if e[0] >= lo && e[0] < hi && e[1] >= lo && e[1] < hi {
+					same = true
+					break
+				}
+			}
+			if !same {
+				t.Fatalf("ComponentsGnp(%d,%d): edge {%d,%d} crosses blocks", tc.n, tc.k, e[0], e[1])
+			}
+		}
+	}
+}
+
+func TestComponentsGnpDeterministic(t *testing.T) {
+	a := ComponentsGnp(30, 3, 0.25, rand.New(rand.NewSource(9)))
+	b := ComponentsGnp(30, 3, 0.25, rand.New(rand.NewSource(9)))
+	if !a.Equal(b) {
+		t.Fatal("ComponentsGnp not deterministic for a fixed seed")
+	}
+	c := ComponentsGnp(30, 3, 0.25, rand.New(rand.NewSource(10)))
+	if a.Equal(c) {
+		t.Fatal("ComponentsGnp ignores the seed")
+	}
+}

@@ -80,6 +80,21 @@ func WeightedGnp(n int, p float64, maxW uint32, seed int64) *Weighted {
 	return WeightedFromSeed(g, seed, maxW)
 }
 
+// ConnectedWeightedGnp returns a connected weighted graph: G(n,p)
+// overlaid with a random spanning tree (so every instance is connected
+// regardless of p), with deterministic uint32 edge weights in [1, maxW].
+// Topology and weights are functions of seed alone; weights depend only
+// on (seed, endpoints), never on edge-insertion order — the same
+// invariance WeightedFromSeed guarantees.
+func ConnectedWeightedGnp(n int, p float64, maxW uint32, seed int64) *Weighted {
+	rng := rand.New(rand.NewSource(seed))
+	g := Gnp(n, p, rng)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	return WeightedFromSeed(g, seed, maxW)
+}
+
 // WeightedPowerLaw returns a preferential-attachment graph (PowerLaw with
 // attachment degree m) with deterministic uint32 edge weights in [1, maxW],
 // a function of seed alone.

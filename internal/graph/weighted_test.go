@@ -129,3 +129,52 @@ func TestWeightedTinyN(t *testing.T) {
 		}
 	}
 }
+
+func TestConnectedWeightedGnpConnectedAndDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		a := ConnectedWeightedGnp(40, 0.05, 8, seed)
+		// Connectivity regardless of the sparse p: walk from 0.
+		seen := make([]bool, a.N())
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range a.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+		if count != a.N() {
+			t.Fatalf("seed %d: reached %d of %d vertices", seed, count, a.N())
+		}
+		b := ConnectedWeightedGnp(40, 0.05, 8, seed)
+		if !a.Graph.Equal(b.Graph) {
+			t.Fatalf("seed %d: topology not deterministic", seed)
+		}
+		for _, e := range a.Edges() {
+			if a.Weight(e[0], e[1]) != b.Weight(e[0], e[1]) {
+				t.Fatalf("seed %d: weights not deterministic", seed)
+			}
+		}
+	}
+}
+
+// TestConnectedWeightedGnpWeightsInsertionOrderInvariant pins the
+// WeightedFromSeed property the scenario legs rely on: the weight of an
+// edge depends only on (seed, endpoints), so a relabeled regeneration
+// that happens to share an edge assigns it the same weight.
+func TestConnectedWeightedGnpWeightsInsertionOrderInvariant(t *testing.T) {
+	wg := ConnectedWeightedGnp(30, 0.2, 16, 13)
+	direct := WeightedFromSeed(wg.Graph.Clone(), 13, 16)
+	for _, e := range wg.Edges() {
+		if wg.Weight(e[0], e[1]) != direct.Weight(e[0], e[1]) {
+			t.Fatalf("edge {%d,%d}: generator weight %d != endpoint-derived weight %d",
+				e[0], e[1], wg.Weight(e[0], e[1]), direct.Weight(e[0], e[1]))
+		}
+	}
+}

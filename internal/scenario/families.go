@@ -79,6 +79,13 @@ func DefaultFamilies() []Family {
 		// graph.WeightedGnp/WeightedPowerLaw generators (same seeded
 		// rng) without building a weight table that would be discarded.
 		{
+			Name: "components",
+			Desc: "three disconnected G(n/3, 0.35) blobs: the multi-component family of the sketch protocols",
+			Gen: func(n int, seed int64) *graph.Graph {
+				return graph.ComponentsGnp(n, 3, 0.35, famRng(seed))
+			},
+		},
+		{
 			Name: "wgnp",
 			Desc: "weighted G(n, 0.3): the dense weighted family of the semiring MM protocols",
 			Gen: func(n int, seed int64) *graph.Graph {

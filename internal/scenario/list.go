@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteList renders the matrix dimensions and per-protocol coverage —
+// the `scenariorun -list` output. Families, engine configurations and
+// protocols print sorted by name (never in declaration order), so the
+// listing is deterministic under matrix growth and pinned by the
+// list.golden test.
+func (m *Matrix) WriteList(w io.Writer) {
+	fams := append([]Family(nil), m.Families...)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	fmt.Fprintln(w, "families:")
+	for _, f := range fams {
+		fmt.Fprintf(w, "  %-10s %s\n", f.Name, f.Desc)
+	}
+
+	engs := append([]EngineConfig(nil), m.Engines...)
+	sort.Slice(engs, func(i, j int) bool { return engs[i].Name < engs[j].Name })
+	fmt.Fprintln(w, "engines:")
+	for _, e := range engs {
+		fmt.Fprintf(w, "  %-14s parallelism=%d batch=%v bandwidth=%d\n", e.Name, e.Parallelism, e.Batch, e.Bandwidth)
+	}
+
+	protos := append([]Protocol(nil), m.Protocols...)
+	sort.Slice(protos, func(i, j int) bool { return protos[i].Name < protos[j].Name })
+	fmt.Fprintln(w, "protocols:")
+	for _, p := range protos {
+		fmt.Fprintf(w, "  %-12s %s\n", p.Name, p.Desc)
+	}
+
+	sizes := append([]int(nil), m.Sizes...)
+	sort.Ints(sizes)
+	fmt.Fprintf(w, "sizes: %v\n", sizes)
+
+	fmt.Fprintln(w, "coverage (per protocol × engine config):")
+	for _, line := range m.Coverage() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateList = flag.Bool("update", false, "rewrite testdata/list.golden from the current output")
+
+// TestListGolden pins the `scenariorun -list` rendering of the full
+// standing matrix: sorted families, engines, protocols, sizes and
+// per-protocol coverage. Any drift here is either a new matrix dimension
+// (rerun with -update, deliberately) or an ordering regression.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	DefaultMatrix(false, 1).WriteList(&buf)
+	got := buf.String()
+
+	path := filepath.Join("testdata", "list.golden")
+	if *updateList {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("-list output drifted (intentional change? rerun with -update):\n--- golden ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestListSorted asserts the ordering property directly — the golden pin
+// would also catch it, but this names the requirement.
+func TestListSorted(t *testing.T) {
+	m := DefaultMatrix(false, 1)
+	var buf bytes.Buffer
+	m.WriteList(&buf)
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	var section string
+	var prev string
+	for _, ln := range lines {
+		s := string(ln)
+		if len(s) == 0 {
+			continue
+		}
+		if s[0] != ' ' {
+			section, prev = s, ""
+			continue
+		}
+		fields := bytes.Fields(ln)
+		if len(fields) == 0 {
+			continue
+		}
+		name := string(fields[0])
+		if prev != "" && name < prev {
+			t.Fatalf("section %q not sorted: %q after %q", section, name, prev)
+		}
+		prev = name
+	}
+}

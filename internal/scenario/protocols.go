@@ -19,9 +19,10 @@ import (
 
 // DefaultProtocols is the standing protocol set: the trivial broadcast
 // triangle detector, the Theorem 7 H-detector, Lenzen routing, the
-// Theorem 2 circuit simulation, Becker et al. reconstruction, and the
-// three semiring MM workloads (APSP, k-hop distance product,
-// matrix-power counting — DESIGN.md §9).
+// Theorem 2 circuit simulation, Becker et al. reconstruction, the three
+// semiring MM workloads (APSP, k-hop distance product, matrix-power
+// counting — DESIGN.md §9), and the three linear-sketch workloads
+// (connectivity, spanning forest, weight-class MST — DESIGN.md §10).
 func DefaultProtocols() []Protocol {
 	return []Protocol{
 		{
@@ -63,6 +64,21 @@ func DefaultProtocols() []Protocol {
 			Name: "matpower",
 			Desc: "Boolean/counting matrix powers: reachability, tr(A³)/6 triangles, A² C4 counts",
 			Run:  runMatrixPower,
+		},
+		{
+			Name: "connectivity",
+			Desc: "ℓ0-sketch Borůvka connected components (direct aggregation) vs union-find/BFS",
+			Run:  runConnectivity,
+		},
+		{
+			Name: "spanforest",
+			Desc: "spanning-forest certificates via Lenzen-routed sketch aggregation",
+			Run:  runSpanForest,
+		},
+		{
+			Name: "sketchmst",
+			Desc: "minimum spanning forest by weight-class sketch filtering vs Kruskal/Borůvka",
+			Run:  runSketchMST,
 		},
 	}
 }

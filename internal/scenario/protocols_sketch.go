@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/graph"
+	"repro/internal/sketch"
+)
+
+// mstWeightMax bounds the weight classes of the sketch MST protocol:
+// every family's graphs get deterministic weights in [1, mstWeightMax]
+// (one sketch stack per class, so the class count is deliberately small).
+const mstWeightMax = 3
+
+// legComponents picks the local connectivity reference of a leg: the
+// union-find engine on the oracle leg, the word-parallel bitset BFS on
+// engine legs — two independent implementations cross-checked through
+// every cell.
+func legComponents(g *graph.Graph, leg Leg) []int {
+	if leg.Oracle {
+		return sketch.UnionFindComponents(g)
+	}
+	return sketch.BFSComponents(g)
+}
+
+// ccDigest canonically folds a labeling and forest for the cell output.
+func ccDigest(res *sketch.CCResult) string {
+	h := fnv.New64a()
+	for _, l := range res.Leader {
+		fmt.Fprintf(h, "%d;", l)
+	}
+	labels := h.Sum64()
+	h = fnv.New64a()
+	for i, e := range res.Forest {
+		fmt.Fprintf(h, "%d-%d", e[0], e[1])
+		if res.Weights != nil {
+			fmt.Fprintf(h, "w%d", res.Weights[i])
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("labels=%016x forest=%016x", labels, h.Sum64())
+}
+
+// runConnectivity runs sketch-Borůvka connected components (direct
+// stack aggregation) and checks the labeling against the leg's local
+// reference engine.
+func runConnectivity(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult, error) {
+	res, err := sketch.ConnectedComponents(g, sketch.DirectAgg, bandwidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	want := legComponents(g, leg)
+	for v, l := range res.Leader {
+		if l != want[v] {
+			return nil, fmt.Errorf("connectivity: vertex %d labeled %d, local reference says %d", v, l, want[v])
+		}
+	}
+	if err := sketch.ValidateForest(g, res); err != nil {
+		return nil, err
+	}
+	return &LegResult{
+		Output: fmt.Sprintf("comps=%d phases=%d %s", res.Components, res.Phases, ccDigest(res)),
+		Stats:  res.Stats,
+	}, nil
+}
+
+// runSpanForest runs the Lenzen-routed aggregation variant (merged
+// component sketches concentrate at leaders through the router) and
+// validates the spanning-forest certificates strictly.
+func runSpanForest(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult, error) {
+	res, err := sketch.SpanningForest(g, sketch.LenzenAgg, bandwidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	want := legComponents(g, leg)
+	for v, l := range res.Leader {
+		if l != want[v] {
+			return nil, fmt.Errorf("spanforest: vertex %d labeled %d, local reference says %d", v, l, want[v])
+		}
+	}
+	if len(res.Forest) != g.N()-res.Components {
+		return nil, fmt.Errorf("spanforest: %d certificates for %d components on %d vertices",
+			len(res.Forest), res.Components, g.N())
+	}
+	return &LegResult{
+		Output: fmt.Sprintf("comps=%d phases=%d edges=%d %s", res.Components, res.Phases, len(res.Forest), ccDigest(res)),
+		Stats:  res.Stats,
+	}, nil
+}
+
+// runSketchMST attaches deterministic weights in [1, mstWeightMax] to
+// the cell's graph (exactly as the semiring protocols do) and computes a
+// minimum spanning forest by weight-class sketch filtering, checked
+// against a leg-chosen exact reference: Kruskal on the oracle leg, local
+// non-sketch Borůvka on engine legs.
+func runSketchMST(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult, error) {
+	wg := graph.WeightedFromSeed(g, seed, mstWeightMax)
+	res, err := sketch.MST(wg, mstWeightMax, sketch.LenzenAgg, bandwidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	var want *sketch.MSFResult
+	if leg.Oracle {
+		want = sketch.KruskalMSF(wg)
+	} else {
+		want = sketch.BoruvkaMSF(wg)
+	}
+	if res.TotalWeight != want.TotalWeight {
+		return nil, fmt.Errorf("sketchmst: clique MSF weighs %d, local reference %d", res.TotalWeight, want.TotalWeight)
+	}
+	if len(res.Forest) != len(want.Forest) {
+		return nil, fmt.Errorf("sketchmst: forest has %d edges, local reference %d", len(res.Forest), len(want.Forest))
+	}
+	for i, e := range res.Forest {
+		if got := wg.Weight(e[0], e[1]); got != res.Weights[i] {
+			return nil, fmt.Errorf("sketchmst: certificate {%d,%d} claims weight %d, graph says %d",
+				e[0], e[1], res.Weights[i], got)
+		}
+	}
+	return &LegResult{
+		Output: fmt.Sprintf("weight=%d edges=%d phases=%d %s", res.TotalWeight, len(res.Forest), res.Phases, ccDigest(res)),
+		Stats:  res.Stats,
+	}, nil
+}

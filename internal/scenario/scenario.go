@@ -211,7 +211,9 @@ func EngineByName(name string) (EngineConfig, bool) {
 // run under and how many cells that is — the per-protocol engine-config
 // coverage `scenariorun -list` prints. It aggregates over Expand rather
 // than assuming the matrix is a full cross product, so it stays correct
-// if the sweep ever becomes ragged.
+// if the sweep ever becomes ragged. Output is sorted (protocols and
+// engine names alphabetically) so the listing is deterministic and can
+// be pinned by a golden test.
 func (m *Matrix) Coverage() []string {
 	type agg struct {
 		engines map[string]bool
@@ -229,6 +231,7 @@ func (m *Matrix) Coverage() []string {
 		a.engines[c.Engine.Name] = true
 		a.cells++
 	}
+	sort.Strings(order)
 	out := make([]string, 0, len(order))
 	for _, name := range order {
 		a := byProto[name]

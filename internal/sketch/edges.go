@@ -1,0 +1,35 @@
+package sketch
+
+import "fmt"
+
+// EdgeUniverse is the size of the edge-id universe of an n-vertex graph:
+// the n(n-1)/2 unordered pairs, upper-triangle ranked.
+func EdgeUniverse(n int) int { return n * (n - 1) / 2 }
+
+// EdgeID ranks the edge {u,v} (u != v) of an n-vertex graph row-major in
+// the upper triangle: {0,1} is 0, {0,n-1} is n-2, {1,2} is n-1, …
+func EdgeID(n, u, v int) uint64 {
+	if u == v || u < 0 || v < 0 || u >= n || v >= n {
+		panic(fmt.Sprintf("sketch: bad edge {%d,%d} for n=%d", u, v, n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u*(2*n-u-1)/2 + (v - u - 1))
+}
+
+// EdgeEndpoints inverts EdgeID.
+func EdgeEndpoints(n int, id uint64) (int, int) {
+	if id >= uint64(EdgeUniverse(n)) {
+		panic(fmt.Sprintf("sketch: edge id %d outside universe of n=%d", id, n))
+	}
+	rest := int(id)
+	for u := 0; u < n-1; u++ {
+		rowLen := n - 1 - u
+		if rest < rowLen {
+			return u, u + 1 + rest
+		}
+		rest -= rowLen
+	}
+	panic("sketch: unreachable")
+}

@@ -1,0 +1,184 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// testGraphs is the family sweep the protocol tests run over: sparse,
+// dense, genuinely disconnected, edgeless and path-like inputs.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	gs := map[string]*graph.Graph{
+		"gnp-sparse":  graph.Gnp(18, 0.08, rng),
+		"gnp-dense":   graph.Gnp(16, 0.5, rng),
+		"path":        graph.Path(15),
+		"edgeless":    graph.New(10),
+		"star+iso":    graph.WithIsolated(graph.Star(8), 14),
+		"components3": graph.ComponentsGnp(21, 3, 0.4, rng),
+	}
+	return gs
+}
+
+func sameLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConnectedComponentsMatchesReferences(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, agg := range []Aggregation{DirectAgg, LenzenAgg} {
+			res, err := ConnectedComponents(g, agg, 32, 5)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, agg, err)
+			}
+			uf := UnionFindComponents(g)
+			bfs := BFSComponents(g)
+			if !sameLabels(uf, bfs) {
+				t.Fatalf("%s: the two reference engines disagree", name)
+			}
+			if !sameLabels(res.Leader, uf) {
+				t.Fatalf("%s/%v: sketch labels %v != reference %v", name, agg, res.Leader, uf)
+			}
+			if res.Phases > Copies(g.N(), 1) {
+				t.Fatalf("%s/%v: %d phases exceeds the stack bound %d", name, agg, res.Phases, Copies(g.N(), 1))
+			}
+			if err := ValidateForest(g, res); err != nil {
+				t.Fatalf("%s/%v: %v", name, agg, err)
+			}
+			if want := g.N() - res.Components; len(res.Forest) != want {
+				t.Fatalf("%s/%v: forest has %d edges, want n - components = %d", name, agg, len(res.Forest), want)
+			}
+		}
+	}
+}
+
+func TestSpanningForestCertificates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.ComponentsGnp(24, 3, 0.35, rng)
+	res, err := SpanningForest(g, LenzenAgg, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 3 {
+		t.Fatalf("found %d components, generator builds 3", res.Components)
+	}
+	for _, e := range res.Forest {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("certificate {%d,%d} is not an edge", e[0], e[1])
+		}
+	}
+}
+
+func TestMSTMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const maxW = 3
+	for trial := 0; trial < 4; trial++ {
+		g := graph.Gnp(14+trial*3, 0.3, rng)
+		wg := graph.WeightedFromSeed(g, int64(100+trial), maxW)
+		for _, agg := range []Aggregation{DirectAgg, LenzenAgg} {
+			res, err := MST(wg, maxW, agg, 32, int64(7+trial))
+			if err != nil {
+				t.Fatalf("trial %d/%v: %v", trial, agg, err)
+			}
+			kr := KruskalMSF(wg)
+			bo := BoruvkaMSF(wg)
+			if kr.TotalWeight != bo.TotalWeight {
+				t.Fatalf("trial %d: reference MSF engines disagree (%d vs %d)", trial, kr.TotalWeight, bo.TotalWeight)
+			}
+			if res.TotalWeight != kr.TotalWeight {
+				t.Fatalf("trial %d/%v: sketch MSF weight %d, Kruskal %d", trial, agg, res.TotalWeight, kr.TotalWeight)
+			}
+			if len(res.Forest) != len(kr.Forest) {
+				t.Fatalf("trial %d/%v: forest size %d, Kruskal %d", trial, agg, len(res.Forest), len(kr.Forest))
+			}
+			for i, e := range res.Forest {
+				if got, want := wg.Weight(e[0], e[1]), res.Weights[i]; got != want {
+					t.Fatalf("trial %d/%v: certificate {%d,%d} claims weight %d, graph says %d",
+						trial, agg, e[0], e[1], want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMSTRejectsOutOfRangeWeights(t *testing.T) {
+	g := graph.Path(4)
+	wg := graph.WeightedFromSeed(g, 1, 10)
+	if _, err := MST(wg, 3, DirectAgg, 32, 1); err == nil {
+		t.Fatal("MST accepted weights above maxClass")
+	}
+}
+
+func TestBroadcastBoruvkaBaseline(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := BroadcastBoruvka(g, 32, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sameLabels(res.Leader, UnionFindComponents(g)) {
+			t.Fatalf("%s: baseline labels differ from the reference", name)
+		}
+		if err := ValidateForest(g, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestProtocolEngineOracle pins the parallel round engine against the
+// sequential oracle on the sketch protocols: outputs and full Stats must
+// be bit-identical (the scenario matrix's differential contract).
+func TestProtocolEngineOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.ComponentsGnp(20, 2, 0.3, rng)
+	wg := graph.WeightedFromSeed(g, 55, 3)
+	prev := core.DefaultParallelism()
+	defer core.SetDefaultParallelism(prev)
+
+	type run func() (*CCResult, error)
+	cases := map[string]run{
+		"cc-direct":  func() (*CCResult, error) { return ConnectedComponents(g, DirectAgg, 24, 3) },
+		"cc-lenzen":  func() (*CCResult, error) { return ConnectedComponents(g, LenzenAgg, 24, 3) },
+		"mst-lenzen": func() (*CCResult, error) { return MST(wg, 3, LenzenAgg, 24, 3) },
+		"baseline":   func() (*CCResult, error) { return BroadcastBoruvka(g, 24, 3) },
+	}
+	for name, f := range cases {
+		core.SetDefaultParallelism(1)
+		seq, err := f()
+		if err != nil {
+			t.Fatalf("%s seq: %v", name, err)
+		}
+		core.SetDefaultParallelism(4)
+		par, err := f()
+		if err != nil {
+			t.Fatalf("%s par: %v", name, err)
+		}
+		if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
+			t.Fatalf("%s: sequential and parallel engines disagree:\n  seq: %+v\n  par: %+v", name, seq, par)
+		}
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		res, err := ConnectedComponents(graph.New(n), DirectAgg, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Components != n || len(res.Forest) != 0 {
+			t.Fatalf("n=%d: got %d components", n, res.Components)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sketch
+
+import (
+	mbits "math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// unionFind is the standard path-halving union-by-id structure the local
+// references and the in-protocol merge resolution share. Union always
+// keeps the smaller root, so component representatives are min member
+// ids — the same canonical labeling the sketch protocols converge to.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the components of a and b; reports whether they were
+// distinct. The smaller root wins.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	return true
+}
+
+// UnionFindComponents labels every vertex with the minimum vertex id of
+// its connected component — the union-find reference leg of the
+// connectivity protocols.
+func UnionFindComponents(g *graph.Graph) []int {
+	uf := newUnionFind(g.N())
+	for _, e := range g.Edges() {
+		uf.union(e[0], e[1])
+	}
+	out := make([]int, g.N())
+	for v := range out {
+		out[v] = uf.find(v)
+	}
+	return out
+}
+
+// BFSComponents labels every vertex with the minimum vertex id of its
+// component by word-parallel bitset BFS — an implementation independent
+// of UnionFindComponents, so the two reference legs cross-check each
+// other through the scenario matrix.
+func BFSComponents(g *graph.Graph) []int {
+	n := g.N()
+	out := make([]int, n)
+	for v := range out {
+		out[v] = -1
+	}
+	words := (n + 63) / 64
+	visited := make([]uint64, words)
+	frontier := make([]uint64, words)
+	next := make([]uint64, words)
+	for s := 0; s < n; s++ {
+		if out[s] != -1 {
+			continue
+		}
+		out[s] = s
+		visited[s/64] |= 1 << uint(s%64)
+		for i := range frontier {
+			frontier[i] = 0
+		}
+		frontier[s/64] |= 1 << uint(s%64)
+		for {
+			for i := range next {
+				next[i] = 0
+			}
+			for w, word := range frontier {
+				for word != 0 {
+					v := w*64 + mbits.TrailingZeros64(word)
+					word &= word - 1
+					for i, a := range g.AdjRow(v) {
+						next[i] |= a
+					}
+				}
+			}
+			any := false
+			for w := range next {
+				fresh := next[w] &^ visited[w]
+				next[w] = fresh
+				visited[w] |= fresh
+				for ; fresh != 0; fresh &= fresh - 1 {
+					out[w*64+mbits.TrailingZeros64(fresh)] = s
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+			frontier, next = next, frontier
+		}
+	}
+	return out
+}
+
+// MSFResult is a local minimum-spanning-forest reference computation.
+type MSFResult struct {
+	Forest      [][2]int
+	TotalWeight int64
+}
+
+// KruskalMSF computes a minimum spanning forest of wg by Kruskal's
+// algorithm (edges sorted by weight, ties by edge id). The forest's
+// total weight is the canonical quantity the sketch MST protocol is
+// checked against: every minimum spanning forest of a graph has the same
+// multiset of edge weights.
+func KruskalMSF(wg *graph.Weighted) *MSFResult {
+	edges := wg.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		wi, wj := wg.Weight(edges[i][0], edges[i][1]), wg.Weight(edges[j][0], edges[j][1])
+		if wi != wj {
+			return wi < wj
+		}
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	uf := newUnionFind(wg.N())
+	res := &MSFResult{}
+	for _, e := range edges {
+		if uf.union(e[0], e[1]) {
+			res.Forest = append(res.Forest, e)
+			res.TotalWeight += int64(wg.Weight(e[0], e[1]))
+		}
+	}
+	return res
+}
+
+// BoruvkaMSF computes a minimum spanning forest by local (non-sketch)
+// Borůvka: each phase every component adopts its minimum-weight outgoing
+// edge (ties by edge id). An independent second reference for the MST
+// protocol's engine legs.
+func BoruvkaMSF(wg *graph.Weighted) *MSFResult {
+	n := wg.N()
+	uf := newUnionFind(n)
+	res := &MSFResult{}
+	for {
+		// best[r] is the chosen outgoing edge of the component rooted at r.
+		best := make(map[int][2]int)
+		for _, e := range wg.Edges() {
+			ru, rv := uf.find(e[0]), uf.find(e[1])
+			if ru == rv {
+				continue
+			}
+			for _, r := range [2]int{ru, rv} {
+				b, ok := best[r]
+				if !ok || edgeLess(wg, e, b) {
+					best[r] = e
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		roots := make([]int, 0, len(best))
+		for r := range best {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			e := best[r]
+			if uf.union(e[0], e[1]) {
+				res.Forest = append(res.Forest, e)
+				res.TotalWeight += int64(wg.Weight(e[0], e[1]))
+			}
+		}
+	}
+	return res
+}
+
+// edgeLess orders edges by (weight, endpoints) — the deterministic
+// tie-break both MSF references share.
+func edgeLess(wg *graph.Weighted, a, b [2]int) bool {
+	wa, wb := wg.Weight(a[0], a[1]), wg.Weight(b[0], b[1])
+	if wa != wb {
+		return wa < wb
+	}
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

@@ -1,0 +1,342 @@
+// Package sketch implements linear graph sketches for the congested
+// clique: seeded ℓ0-samplers over edge-incidence vectors in the style of
+// Ahn, Guha and McGregor (SODA 2012), XOR-composable so that the merged
+// sketch of a vertex set is exactly the sketch of its cut (internal edges
+// cancel), plus the clique protocols built on them — Borůvka-style
+// connected components, spanning-forest extraction with edge
+// certificates, and minimum spanning forests by weight-class filtering
+// (DESIGN.md §10).
+//
+// The samplers are deterministic in their seed: every player derives the
+// same hash functions from the protocol seed, which is what makes the
+// sketches mergeable across players and keeps both legs of the scenario
+// matrix bit-identical.
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// DefaultFpBits is the fingerprint width of a sampler cell: a false
+// recovery (a multi-item cell masquerading as a singleton) survives the
+// fingerprint test with probability about 2^-DefaultFpBits per cell.
+const DefaultFpBits = 16
+
+// splitmix64 is the shared avalanche permutation of the repo's seeded
+// generators (graph.edgeWeight, scenario.demandPayload).
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Sampler is one seeded ℓ0-sampler over the universe [0, Universe): a
+// linear sketch of a set S ⊆ [U] under symmetric difference. Toggle flips
+// an item in and out of S (additions and removals are the same operation
+// over GF(2)); Merge XORs two samplers, yielding the sampler of the
+// symmetric difference of their sets; Recover returns some element of S,
+// or fails with small probability.
+//
+// Layout: item i is subsampled into levels 0..tz(h(i)) (a geometric
+// ladder, so some level holds Θ(1) items of any S). Each level keeps a
+// one-sparse detector cell: the parity of the items present, the XOR of
+// their ids and the XOR of their fingerprints. A cell holding exactly one
+// item has parity 1, its id XOR names the item, and the fingerprint
+// check fp(id) == fpXor verifies one-sparseness.
+type Sampler struct {
+	universe int
+	levels   int
+	fpBits   int
+	seed     uint64
+	par      []uint64 // parity per level (0 or 1)
+	ids      []uint64 // XOR of item ids per level
+	fps      []uint64 // XOR of item fingerprints per level
+}
+
+// SamplerLevels is the level count used for a universe of size u:
+// one per halving of the universe, so the deepest level expects < 1 item.
+func SamplerLevels(u int) int {
+	if u < 1 {
+		u = 1
+	}
+	return bits.UintWidth(uint64(u-1)) + 1
+}
+
+// IDBits is the wire width of an item id for a universe of size u.
+func IDBits(u int) int {
+	if u < 2 {
+		return 1
+	}
+	return bits.UintWidth(uint64(u - 1))
+}
+
+// NewSampler returns an empty sampler over [0, universe) with the given
+// fingerprint width, seeded so that samplers built from the same
+// (universe, fpBits, seed) anywhere in the system are mergeable.
+func NewSampler(universe, fpBits int, seed uint64) *Sampler {
+	if universe < 1 {
+		panic(fmt.Sprintf("sketch: universe %d < 1", universe))
+	}
+	if fpBits < 1 || fpBits > 64 {
+		panic(fmt.Sprintf("sketch: fingerprint width %d outside [1,64]", fpBits))
+	}
+	levels := SamplerLevels(universe)
+	words := make([]uint64, 3*levels)
+	return &Sampler{
+		universe: universe,
+		levels:   levels,
+		fpBits:   fpBits,
+		seed:     seed,
+		par:      words[:levels:levels],
+		ids:      words[levels : 2*levels : 2*levels],
+		fps:      words[2*levels : 3*levels : 3*levels],
+	}
+}
+
+// Universe reports the sampler's universe size.
+func (s *Sampler) Universe() int { return s.universe }
+
+// level returns the deepest level item i reaches: the number of trailing
+// zeros of the item's hash, capped at the ladder depth.
+func (s *Sampler) level(item uint64) int {
+	h := splitmix64(s.seed ^ 0x9e3779b97f4a7c15*(item+1))
+	l := 0
+	for h&1 == 0 && l < s.levels-1 {
+		h >>= 1
+		l++
+	}
+	return l
+}
+
+// fingerprint hashes an item into fpBits bits with a seed independent of
+// the level hash.
+func (s *Sampler) fingerprint(item uint64) uint64 {
+	h := splitmix64(s.seed ^ 0x517cc1b727220a95*(item+1) ^ 0xd1b54a32d192ed03)
+	if s.fpBits < 64 {
+		h &= 1<<uint(s.fpBits) - 1
+	}
+	return h
+}
+
+// Toggle flips item in or out of the sketched set. Toggling twice is a
+// no-op: the sketch is linear over GF(2).
+func (s *Sampler) Toggle(item uint64) {
+	if item >= uint64(s.universe) {
+		panic(fmt.Sprintf("sketch: item %d outside universe [0,%d)", item, s.universe))
+	}
+	lmax := s.level(item)
+	fp := s.fingerprint(item)
+	for l := 0; l <= lmax; l++ {
+		s.par[l] ^= 1
+		s.ids[l] ^= item
+		s.fps[l] ^= fp
+	}
+}
+
+// Merge XORs o into s, making s the sampler of the symmetric difference
+// of the two sets. Both samplers must have been built from the same
+// (universe, fpBits, seed).
+func (s *Sampler) Merge(o *Sampler) {
+	if s.universe != o.universe || s.fpBits != o.fpBits || s.seed != o.seed {
+		panic("sketch: merging incompatible samplers")
+	}
+	for l := 0; l < s.levels; l++ {
+		s.par[l] ^= o.par[l]
+		s.ids[l] ^= o.ids[l]
+		s.fps[l] ^= o.fps[l]
+	}
+}
+
+// IsZero reports whether the sketch is identically zero — true whenever
+// the sketched set is empty, and false positives only when a non-empty
+// set cancels in every cell (probability about 2^-(fpBits·levels)).
+func (s *Sampler) IsZero() bool {
+	for l := 0; l < s.levels; l++ {
+		if s.par[l] != 0 || s.ids[l] != 0 || s.fps[l] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover returns an element of the sketched set. It scans the level
+// ladder for a cell passing the one-sparseness tests: odd parity, a
+// fingerprint matching the cell's id XOR, an id inside the universe, and
+// level membership consistent with the id's own hash. Failure (ok=false)
+// means no level isolated a single item — the recovery-failure band the
+// protocols absorb by retrying with an independent sampler.
+func (s *Sampler) Recover() (uint64, bool) {
+	for l := 0; l < s.levels; l++ {
+		if s.par[l] != 1 {
+			continue
+		}
+		id := s.ids[l]
+		if id >= uint64(s.universe) {
+			continue
+		}
+		if s.fps[l] != s.fingerprint(id) {
+			continue
+		}
+		if s.level(id) < l {
+			continue
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+// Clone returns an independent copy of s.
+func (s *Sampler) Clone() *Sampler {
+	out := NewSampler(s.universe, s.fpBits, s.seed)
+	copy(out.par, s.par)
+	copy(out.ids, s.ids)
+	copy(out.fps, s.fps)
+	return out
+}
+
+// Equal reports whether two samplers hold identical state.
+func (s *Sampler) Equal(o *Sampler) bool {
+	if s.universe != o.universe || s.fpBits != o.fpBits || s.seed != o.seed {
+		return false
+	}
+	for l := 0; l < s.levels; l++ {
+		if s.par[l] != o.par[l] || s.ids[l] != o.ids[l] || s.fps[l] != o.fps[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// WireBits is the encoded size of one sampler: levels × (1 parity bit +
+// id + fingerprint). The DESIGN.md §10 bit accounting builds on it.
+func (s *Sampler) WireBits() int {
+	return s.levels * (1 + IDBits(s.universe) + s.fpBits)
+}
+
+// Encode appends the sampler's cells to buf in level order.
+func (s *Sampler) Encode(buf *bits.Buffer) {
+	idW := IDBits(s.universe)
+	for l := 0; l < s.levels; l++ {
+		buf.WriteBit(s.par[l])
+		buf.WriteUint(s.ids[l], idW)
+		buf.WriteUint(s.fps[l], s.fpBits)
+	}
+}
+
+// DecodeSampler reads one sampler encoded by Encode. The receiver must
+// know the (universe, fpBits, seed) triple — seeds are derived from the
+// protocol seed, never shipped.
+func DecodeSampler(rd *bits.Reader, universe, fpBits int, seed uint64) (*Sampler, error) {
+	s := NewSampler(universe, fpBits, seed)
+	return s, s.decodeInto(rd)
+}
+
+// decodeInto overwrites s's cells from rd.
+func (s *Sampler) decodeInto(rd *bits.Reader) error {
+	idW := IDBits(s.universe)
+	for l := 0; l < s.levels; l++ {
+		p, err := rd.ReadBit()
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		id, err := rd.ReadUint(idW)
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		fp, err := rd.ReadUint(s.fpBits)
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		s.par[l], s.ids[l], s.fps[l] = p, id, fp
+	}
+	return nil
+}
+
+// mergeFromWire XORs a wire-encoded sampler into s without allocating a
+// decode target — the hot path of leader aggregation.
+func (s *Sampler) mergeFromWire(rd *bits.Reader) error {
+	idW := IDBits(s.universe)
+	for l := 0; l < s.levels; l++ {
+		p, err := rd.ReadBit()
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		id, err := rd.ReadUint(idW)
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		fp, err := rd.ReadUint(s.fpBits)
+		if err != nil {
+			return fmt.Errorf("sketch: truncated sampler: %w", err)
+		}
+		s.par[l] ^= p
+		s.ids[l] ^= id
+		s.fps[l] ^= fp
+	}
+	return nil
+}
+
+// Stack is a node's sketch stack: `copies` independent samplers of the
+// same set, one consumed per protocol phase so that every recovery query
+// sees randomness independent of the merges it caused (the standard AGM
+// fresh-sketch-per-phase scheme).
+type Stack struct {
+	Samplers []*Sampler
+}
+
+// copySeed derives the shared seed of copy q from the protocol seed: all
+// players must build copy q from the same hash functions for merging to
+// be meaningful.
+func copySeed(seed int64, salt uint64, q int) uint64 {
+	return splitmix64(uint64(seed) ^ salt ^ 0xa0761d6478bd642f*uint64(q+1))
+}
+
+// NewStack builds an empty stack of `copies` samplers over [0, universe),
+// with per-copy seeds derived from (seed, salt). Protocols use distinct
+// salts for distinct logical vectors (e.g. one per weight class).
+func NewStack(universe, fpBits, copies int, seed int64, salt uint64) *Stack {
+	st := &Stack{Samplers: make([]*Sampler, copies)}
+	for q := range st.Samplers {
+		st.Samplers[q] = NewSampler(universe, fpBits, copySeed(seed, salt, q))
+	}
+	return st
+}
+
+// Toggle flips item in every copy.
+func (st *Stack) Toggle(item uint64) {
+	for _, s := range st.Samplers {
+		s.Toggle(item)
+	}
+}
+
+// WireBitsFrom is the encoded size of copies from..end.
+func (st *Stack) WireBitsFrom(from int) int {
+	total := 0
+	for q := from; q < len(st.Samplers); q++ {
+		total += st.Samplers[q].WireBits()
+	}
+	return total
+}
+
+// EncodeFrom appends copies from..end to buf.
+func (st *Stack) EncodeFrom(buf *bits.Buffer, from int) {
+	for q := from; q < len(st.Samplers); q++ {
+		st.Samplers[q].Encode(buf)
+	}
+}
+
+// MergeWireFrom XORs wire-encoded copies from..end (as written by
+// EncodeFrom with the same bound) into the stack.
+func (st *Stack) MergeWireFrom(rd *bits.Reader, from int) error {
+	for q := from; q < len(st.Samplers); q++ {
+		if err := st.Samplers[q].mergeFromWire(rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,7 +2,9 @@
 # Record the performance trajectory: run the engine, circuit-evaluation,
 # GF(2) matmul, semiring-kernel and experiment benchmarks with allocation
 # stats and emit BENCH_<date>.json next to the repo root, then fold in
-# the full E15 naive-vs-cube MM record at n=64 ("e15_semiring_mm") and
+# the full E15 naive-vs-cube MM record at n=64 ("e15_semiring_mm"), the
+# full E16 sketch-vs-broadcast connectivity record at n=256
+# ("e16_sketch_connectivity") and
 # the quick scenario matrix summary ("scenario_matrix"; full cell
 # records land in SCENARIOS_<date>.json; schema in DESIGN.md §8).
 # Compare files across PRs to see the trend (ns/op and allocs/op per
@@ -14,6 +16,7 @@
 #   BENCHFILTER='CircuitEval|Mul' scripts/bench.sh  # eval engines only
 #   SCENARIOS=0 scripts/bench.sh # skip the scenario matrix
 #   E15=0 scripts/bench.sh       # skip the full E15 MM ablation
+#   E16=0 scripts/bench.sh       # skip the full E16 sketch ablation
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +29,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
@@ -72,6 +75,20 @@ if [[ "${E15:-1}" == "1" ]]; then
       | tr ' ' '\n' | awk -F= '{printf "\"%s\": %s, ", $1, $2}' | sed 's/, $//')"
     append_record "{\"date\": \"${date}\", \"name\": \"e15_semiring_mm\", ${fields}}"
     echo "folded E15 n=64 record into $out"
+  fi
+fi
+
+# Run the full E16 sketch-connectivity ablation (the quick sweep stops
+# at n=64; the acceptance point is n=256) and fold its n=256 record into
+# the bench file: sketch vs broadcast-Borůvka rounds/bits/phases and the
+# rounds·bits cost ratio.
+if [[ "${E16:-1}" == "1" ]]; then
+  e16="$(go run ./cmd/cliquebench -exp E16 | grep '^E16RECORD n=256 ' | tail -1)"
+  if [[ -n "$e16" ]]; then
+    fields="$(sed 's/^E16RECORD //' <<< "$e16" \
+      | tr ' ' '\n' | awk -F= '{printf "\"%s\": %s, ", $1, $2}' | sed 's/, $//')"
+    append_record "{\"date\": \"${date}\", \"name\": \"e16_sketch_connectivity\", ${fields}}"
+    echo "folded E16 n=256 record into $out"
   fi
 fi
 
