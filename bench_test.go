@@ -55,6 +55,7 @@ func BenchmarkE12CountingBound(b *testing.B)    { runExperiment(b, "E12") }
 func BenchmarkE13Barrier(b *testing.B)          { runExperiment(b, "E13") }
 func BenchmarkE15SemiringMM(b *testing.B)       { runExperiment(b, "E15") }
 func BenchmarkE16SketchCC(b *testing.B)         { runExperiment(b, "E16") }
+func BenchmarkE17FaultInjection(b *testing.B)   { runExperiment(b, "E17") }
 func BenchmarkEA1Ablations(b *testing.B)        { runExperiment(b, "EA1") }
 
 // Focused micro-benchmarks on the primitive operations behind the tables.

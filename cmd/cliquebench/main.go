@@ -1,6 +1,6 @@
 // Cliquebench regenerates the quantitative content of every theorem and
 // claim of "On the Power of the Congested Clique Model" (Drucker, Kuhn,
-// Oshman; PODC 2014). Run all experiments (E1–E16 plus the EA1 ablations) or a single one:
+// Oshman; PODC 2014). Run all experiments (E1–E17 plus the EA1 ablations) or a single one:
 //
 //	cliquebench             # everything, full parameters
 //	cliquebench -exp E7     # one experiment
@@ -22,12 +22,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID to run (E1..E16, EA1) or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID to run (E1..E17, EA1) or 'all'")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		par       = flag.Int("parallelism", 0, "engine workers per round: 0 = GOMAXPROCS, 1 = sequential")
@@ -38,6 +39,7 @@ func main() {
 		families  = flag.String("families", "", "scenario family subset, comma-separated (-scenarios)")
 		protocols = flag.String("protocols", "", "scenario protocol subset, comma-separated (-scenarios)")
 		engines   = flag.String("engines", "", "scenario engine-config subset, comma-separated (-scenarios)")
+		faults    = flag.String("faults", "", `fault spec for the scenario engine legs, e.g. "drop=0.02" (-scenarios; DESIGN.md §11)`)
 	)
 	flag.Parse()
 	core.SetDefaultParallelism(*par)
@@ -50,7 +52,7 @@ func main() {
 		return
 	}
 	if *scenarios {
-		runScenarios(*quick, *seed, *shards, *families, *protocols, *engines)
+		runScenarios(*quick, *seed, *shards, *families, *protocols, *engines, *faults)
 		return
 	}
 	if *exp != "all" {
@@ -77,7 +79,7 @@ func run(e experiments.Experiment, quick bool) {
 // runScenarios sweeps the differential workload matrix — optionally
 // restricted to family/protocol/engine subsets — and writes
 // SCENARIOS_<date>.json (DESIGN.md §8).
-func runScenarios(quick bool, seed int64, shards int, families, protocols, engines string) {
+func runScenarios(quick bool, seed int64, shards int, families, protocols, engines, faults string) {
 	m := scenario.DefaultMatrix(quick, seed)
 	for _, filter := range []struct {
 		names string
@@ -92,7 +94,16 @@ func runScenarios(quick bool, seed int64, shards int, families, protocols, engin
 			os.Exit(2)
 		}
 	}
-	rep := scenario.RunMatrix(m, shards)
+	spec, err := fault.ParseSpec(faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	rep, err := scenario.RunMatrixOpts(m, scenario.RunOptions{Shards: shards, Faults: spec})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(4)
+	}
 	if code := rep.WriteAndReport("", os.Stdout, os.Stderr); code != 0 {
 		os.Exit(code)
 	}

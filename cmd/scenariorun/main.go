@@ -2,8 +2,7 @@
 // families × sizes × engine configurations × protocols, every cell run
 // under both the sequential scalar oracle and the engine configuration
 // under test, outputs and Stats diffed bit-for-bit. It writes the
-// machine-readable SCENARIOS_<date>.json (schema: DESIGN.md §8) and
-// exits nonzero on any divergence.
+// machine-readable SCENARIOS_<date>.json (schema: DESIGN.md §8).
 //
 //	scenariorun -quick               # reduced sweep (~594 cells)
 //	scenariorun                      # full sweep
@@ -11,6 +10,13 @@
 //	scenariorun -families gnp,rs -protocols triangle,apsp
 //	scenariorun -engines par4-batch-b64
 //	scenariorun -seed 7 -shards 4 -out /tmp/scen.json
+//	scenariorun -quick -faults drop=0.02,corrupt=0.01
+//	scenariorun -timeout 30s -retries 2 -ledger run.jsonl
+//
+// Exit codes (DESIGN.md §8): 0 every cell ok; 1 any divergence
+// (including a silent corruption under faults); 2 usage error; 3 only
+// explicitly detected fault failures; 4 infrastructure failures (a leg
+// panicked or timed out even after the quarantine retries).
 //
 // All flags are documented in DESIGN.md §8.
 package main
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/scenario"
 )
 
@@ -34,8 +41,18 @@ func main() {
 		engines   = flag.String("engines", "", "comma-separated engine-config subset (default: all)")
 		list      = flag.Bool("list", false, "list matrix dimensions and per-protocol coverage, then exit")
 		verbose   = flag.Bool("v", false, "print every cell, not just divergences")
+		faults    = flag.String("faults", "", `fault spec for the engine legs, e.g. "drop=0.02,corrupt=0.01" (keys: drop corrupt delay dup crash maxdelay crashby)`)
+		timeout   = flag.Duration("timeout", 0, "per-leg deadline (0 = none); timed-out cells are classified infra")
+		retries   = flag.Int("retries", 0, "quarantine retries for infra-failed legs (panic, timeout)")
+		ledger    = flag.String("ledger", "", "append-only resume ledger path; re-running with the same matrix and flags skips recorded cells")
 	)
 	flag.Parse()
+
+	spec, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
+		os.Exit(2)
+	}
 
 	m := scenario.DefaultMatrix(*quick, *seed)
 	if err := m.FilterFamilies(*families); err != nil {
@@ -57,15 +74,25 @@ func main() {
 		return
 	}
 
-	rep := scenario.RunMatrix(m, *shards)
+	rep, err := scenario.RunMatrixOpts(m, scenario.RunOptions{
+		Shards:  *shards,
+		Timeout: *timeout,
+		Retries: *retries,
+		Faults:  spec,
+		Ledger:  *ledger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
+		os.Exit(4)
+	}
 	if *verbose {
 		for _, c := range rep.Cells {
-			status := "ok"
-			if c.Diverged {
-				status = "DIVERGED"
+			detail := c.Divergence
+			if detail == "" {
+				detail = c.Error
 			}
 			fmt.Printf("%-10s n=%-3d %-14s %-12s rounds=%-4d bits=%-8d %-8s %s\n",
-				c.Family, c.N, c.Engine, c.Protocol, c.Rounds, c.TotalBits, status, c.Divergence)
+				c.Family, c.N, c.Engine, c.Protocol, c.Rounds, c.TotalBits, c.Outcome, detail)
 		}
 	}
 	s := rep.Summary

@@ -179,6 +179,17 @@ func (b *Buffer) grow(need int) {
 	}
 }
 
+// FlipBit inverts bit i in place — the fault injector's corruption
+// primitive. The buffer must be writable (Clone a frozen view first) and
+// i must be in [0, Len).
+func (b *Buffer) FlipBit(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bits: FlipBit(%d) outside [0,%d)", i, b.n))
+	}
+	b.beforeWrite()
+	b.data[i>>3] ^= 1 << uint(i&7)
+}
+
 // WriteBool appends a single bit encoding v.
 func (b *Buffer) WriteBool(v bool) {
 	if v {

@@ -77,6 +77,7 @@ var (
 	ErrSelfMessage  = errors.New("core: node may not message itself")
 	ErrUnknownNode  = errors.New("core: destination out of range")
 	ErrAfterBarrier = errors.New("core: send after node halted")
+	ErrStalled      = errors.New("core: protocol stalled (no traffic for QuiesceLimit steps; crashed or deadlocked nodes)")
 )
 
 // Config describes a run of the model.
@@ -95,6 +96,100 @@ type Config struct {
 	// engine (the determinism oracle); k > 1 uses k workers. Outputs and
 	// Stats are identical for every setting.
 	Parallelism int
+
+	// FaultPlan injects a deterministic adversary into the delivery path
+	// (internal/fault implements it). nil consults the package default
+	// fault factory (SetDefaultFaultFactory), which is nil by default —
+	// no faults. Fault decisions are applied during sequential delivery,
+	// so a given plan produces a bit-identical fault schedule under every
+	// Parallelism setting.
+	FaultPlan FaultInjector
+
+	// QuiesceLimit aborts the run with ErrStalled after this many
+	// consecutive steps in which no message was sent and nothing was
+	// delivered while nodes remain live — the engine's crash/deadlock
+	// detector. 0 picks the default: DefaultQuiesceLimit when a fault
+	// plan is active, disabled otherwise; negative disables it always.
+	QuiesceLimit int
+}
+
+// FaultAction is the adversary's decision for one staged message on one
+// directed link in one round. The zero value delivers faithfully.
+type FaultAction struct {
+	Drop       bool // message is lost (its bits are still metered as sent)
+	Corrupt    bool // flip bit CorruptBit%len of a private copy
+	CorruptBit int  //
+	Delay      int  // deliver this many rounds late (0 = on time)
+	Duplicate  bool // deliver an extra copy DupDelay rounds late
+	DupDelay   int  // >= 1 when Duplicate
+}
+
+// FaultInjector decides the fate of every delivered message. OnMessage is
+// consulted exactly once per (round, src, dst) delivery — for broadcasts,
+// once per recipient — during the engine's sequential delivery pass, so
+// implementations must be deterministic in their arguments but need no
+// synchronization. CrashRound reports the round at which node id
+// crash-stops (it is no longer stepped and sends nothing from that round
+// on), or a negative value if it never crashes.
+type FaultInjector interface {
+	OnMessage(round, src, dst, nbits int) FaultAction
+	CrashRound(id int) int
+}
+
+// FaultStats counts the adversary's interventions over a run. A delayed
+// or duplicated message that finds its inbox slot already occupied on
+// arrival is discarded and counted under Collisions (one link carries at
+// most one message per round, faults included).
+type FaultStats struct {
+	Drops       int `json:"drops"`
+	Corruptions int `json:"corruptions"`
+	Delays      int `json:"delays"`
+	Duplicates  int `json:"duplicates"`
+	Collisions  int `json:"collisions"`
+	Crashes     int `json:"crashes"`
+}
+
+// DefaultQuiesceLimit is the stall detector's threshold when a fault plan
+// is active and Config.QuiesceLimit is 0. It is far above the longest
+// legitimately quiet stretch of any protocol in the repo (idle tails of
+// chunked schedules, reliable-stream backoff windows) yet small enough
+// that a crash-stalled run fails in thousands, not millions, of steps.
+const DefaultQuiesceLimit = 1024
+
+// defaultFaultFactory builds a FaultInjector for runs whose Config has no
+// explicit FaultPlan; nil means no faults. Guarded for concurrent reads.
+var defaultFaultFactory atomic.Value // of func(seed int64) FaultInjector
+
+// SetDefaultFaultFactory installs (or, with nil, clears) the package
+// default fault source: runs whose Config.FaultPlan is nil call it with
+// their Config.Seed to obtain a plan. This is how harnesses inject the
+// adversary into protocols that build their own Config internally —
+// exactly the pattern of SetDefaultParallelism. It returns the previous
+// factory so callers can restore it.
+func SetDefaultFaultFactory(f func(seed int64) FaultInjector) func(seed int64) FaultInjector {
+	var prev func(seed int64) FaultInjector
+	if box, ok := defaultFaultFactory.Load().(faultFactoryBox); ok {
+		prev = box.f
+	}
+	defaultFaultFactory.Store(faultFactoryBox{f})
+	return prev
+}
+
+// faultFactoryBox wraps the factory so atomic.Value tolerates nil.
+type faultFactoryBox struct {
+	f func(seed int64) FaultInjector
+}
+
+// resolveFaultPlan picks the run's injector: the explicit plan, else the
+// package default factory applied to the run seed, else none.
+func (c *Config) resolveFaultPlan() FaultInjector {
+	if c.FaultPlan != nil {
+		return c.FaultPlan
+	}
+	if box, ok := defaultFaultFactory.Load().(faultFactoryBox); ok && box.f != nil {
+		return box.f(c.Seed)
+	}
+	return nil
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -158,10 +253,14 @@ type Stats struct {
 	NodeSentBits []int64 // per-node totals
 }
 
-// Result of a run: per-node outputs plus accounting.
+// Result of a run: per-node outputs plus accounting. Faults is non-nil
+// only when a fault plan was active, and counts its interventions — a
+// deterministic function of (plan, protocol), so it is diffable across
+// engine configurations exactly like Stats.
 type Result struct {
 	Outputs []interface{}
 	Stats   Stats
+	Faults  *FaultStats
 }
 
 // Node is the callback form of a protocol. The engine invokes Step once per
@@ -313,6 +412,13 @@ func (c *Ctx) Broadcast(msg *bits.Buffer) error {
 // delivery records one filled inbox slot, to be cleared next round.
 type delivery struct{ dst, src int }
 
+// pendingDelivery is a delayed (or duplicated) message in flight: it is
+// filed into inboxes[dst][src] during the delivery pass of round `due`.
+type pendingDelivery struct {
+	due, dst, src int
+	msg           *bits.Buffer
+}
+
 // engine holds the per-run state of the round loop. All matrices are
 // allocated once up front and reused across rounds.
 type engine struct {
@@ -328,6 +434,13 @@ type engine struct {
 	errs      []error
 	delivered []delivery // inbox slots filled by the last delivery
 	workers   int
+
+	// Fault-injection state (all nil/zero when no plan is active).
+	plan    FaultInjector
+	faults  FaultStats
+	pending []pendingDelivery // delayed/duplicated messages in flight
+	crashed []bool
+	quiet   int // consecutive steps with no sends and no deliveries
 }
 
 func newEngine(cfg *Config, nodes []Node) *engine {
@@ -343,6 +456,10 @@ func newEngine(cfg *Config, nodes []Node) *engine {
 		done:    make([]bool, n),
 		errs:    make([]error, n),
 		workers: cfg.workers(),
+		plan:    cfg.resolveFaultPlan(),
+	}
+	if e.plan != nil {
+		e.crashed = make([]bool, n)
 	}
 	inboxFlat := make([]*bits.Buffer, n*n)
 	outFlat := make([]*bits.Buffer, n*n)
@@ -374,8 +491,28 @@ func (e *engine) stepOne(slot, id, round int) error {
 // for the lowest-numbered failing node.
 func (e *engine) step(round int) error {
 	n := len(e.live)
+	// Crash-stop failures are resolved sequentially before the fan-out:
+	// a crashed node is never stepped again and sends nothing from its
+	// crash round on (messages it staged in earlier rounds were already
+	// delivered — they were "on the wire").
+	if e.plan != nil {
+		for _, id := range e.live {
+			if !e.crashed[id] {
+				if cr := e.plan.CrashRound(id); cr >= 0 && round >= cr {
+					e.crashed[id] = true
+					e.faults.Crashes++
+				}
+			}
+		}
+	}
 	ParallelFor(e.workers, n, func(k int) {
-		e.errs[k] = e.stepOne(k, e.live[k], round)
+		id := e.live[k]
+		if e.crashed != nil && e.crashed[id] {
+			e.done[k] = true
+			e.errs[k] = nil
+			return
+		}
+		e.errs[k] = e.stepOne(k, id, round)
 	})
 	for k, id := range e.live {
 		if err := e.errs[k]; err != nil {
@@ -397,17 +534,35 @@ func (e *engine) step(round int) error {
 }
 
 // deliver collects the messages staged by this round's stepped nodes,
-// meters them, and files them into the recipients' inboxes. It runs
-// sequentially in ascending node order, which (together with the
-// order-insensitive Stats aggregates) keeps accounting bit-identical to
-// the sequential engine.
-func (e *engine) deliver() {
+// meters them, and files them into the recipients' inboxes — through the
+// fault plan when one is active. It runs sequentially in ascending node
+// order, which (together with the order-insensitive Stats aggregates and
+// the purely positional fault decisions) keeps accounting and the fault
+// schedule bit-identical to the sequential engine.
+func (e *engine) deliver(round int) {
 	// Clear only the inbox slots the previous round filled — O(messages),
 	// not O(N^2).
 	for _, d := range e.delivered {
 		e.inboxes[d.dst][d.src] = nil
 	}
 	e.delivered = e.delivered[:0]
+
+	// Delayed and duplicated messages due this round land first: they
+	// were on the wire before anything staged now.
+	delivered := false
+	if len(e.pending) > 0 {
+		keep := e.pending[:0]
+		for _, pd := range e.pending {
+			if pd.due != round {
+				keep = append(keep, pd)
+				continue
+			}
+			if e.fileNow(pd.dst, pd.src, pd.msg) {
+				delivered = true
+			}
+		}
+		e.pending = keep
+	}
 
 	cfg := e.cfg
 	sentAny := false
@@ -431,8 +586,9 @@ func (e *engine) deliver() {
 				if j == i {
 					continue
 				}
-				e.inboxes[j][i] = msg
-				e.delivered = append(e.delivered, delivery{j, i})
+				if e.file(round, i, j, msg) {
+					delivered = true
+				}
 			}
 		}
 		if len(ctx.sent) == 0 {
@@ -451,14 +607,73 @@ func (e *engine) deliver() {
 			if cfg.CutSide != nil && cfg.CutSide[i] != cfg.CutSide[dst] {
 				e.stats.CutBits += int64(ln)
 			}
-			e.inboxes[dst][i] = msg
-			e.delivered = append(e.delivered, delivery{dst, i})
+			if e.file(round, i, dst, msg) {
+				delivered = true
+			}
 		}
 		ctx.sent = ctx.sent[:0]
 	}
 	if sentAny {
 		e.stats.Rounds++
 	}
+	if sentAny || delivered {
+		e.quiet = 0
+	} else {
+		e.quiet++
+	}
+}
+
+// file routes one metered message through the fault plan (if any) and
+// into dst's inbox slot for src. It reports whether anything actually
+// landed in an inbox this round.
+func (e *engine) file(round, src, dst int, msg *bits.Buffer) bool {
+	if e.plan == nil {
+		e.inboxes[dst][src] = msg
+		e.delivered = append(e.delivered, delivery{dst, src})
+		return true
+	}
+	a := e.plan.OnMessage(round, src, dst, msg.Len())
+	if a.Drop {
+		e.faults.Drops++
+		return false
+	}
+	if a.Corrupt && msg.Len() > 0 {
+		e.faults.Corruptions++
+		bit := a.CorruptBit % msg.Len()
+		if bit < 0 {
+			bit += msg.Len()
+		}
+		cp := msg.Clone()
+		cp.FlipBit(bit)
+		msg = cp.Freeze()
+	}
+	if a.Duplicate {
+		e.faults.Duplicates++
+		d := a.DupDelay
+		if d < 1 {
+			d = 1
+		}
+		e.pending = append(e.pending, pendingDelivery{due: round + d, dst: dst, src: src, msg: msg})
+	}
+	if a.Delay > 0 {
+		e.faults.Delays++
+		e.pending = append(e.pending, pendingDelivery{due: round + a.Delay, dst: dst, src: src, msg: msg})
+		return false
+	}
+	return e.fileNow(dst, src, msg)
+}
+
+// fileNow places a message in its inbox slot unless the slot is already
+// occupied this round: one directed link carries at most one message per
+// round, adversarial re-deliveries included — the loser is discarded.
+func (e *engine) fileNow(dst, src int, msg *bits.Buffer) bool {
+	if e.inboxes[dst][src] != nil {
+		e.faults.Collisions++
+		return false
+	}
+	e.inboxes[dst][src] = msg
+	e.delivered = append(e.delivered, delivery{dst, src})
+	return true
 }
 
 // Run executes the protocol given by nodes (one per player) until every
@@ -475,6 +690,10 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 		maxRounds = DefaultMaxRounds
 	}
 	e := newEngine(&cfg, nodes)
+	quiesce := cfg.QuiesceLimit
+	if quiesce == 0 && e.plan != nil {
+		quiesce = DefaultQuiesceLimit
+	}
 	for step := 0; len(e.live) > 0; step++ {
 		if step >= maxRounds {
 			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
@@ -483,7 +702,10 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 		if err := e.step(step); err != nil {
 			return nil, err
 		}
-		e.deliver()
+		e.deliver(step)
+		if quiesce > 0 && e.quiet >= quiesce {
+			return nil, fmt.Errorf("%w: %d live nodes at step %d", ErrStalled, len(e.live), step)
+		}
 	}
 	for _, b := range e.stats.NodeSentBits {
 		if b > e.stats.MaxNodeBits {
@@ -494,5 +716,10 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 	for i, ctx := range e.ctxs {
 		outputs[i] = ctx.output
 	}
-	return &Result{Outputs: outputs, Stats: e.stats}, nil
+	res := &Result{Outputs: outputs, Stats: e.stats}
+	if e.plan != nil {
+		f := e.faults
+		res.Faults = &f
+	}
+	return res, nil
 }

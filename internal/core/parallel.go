@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -19,6 +21,20 @@ func ResolveParallelism(p int) int {
 	return p
 }
 
+// PanicError is how ParallelFor re-raises a worker panic on the caller:
+// the first panicking index (lowest, for determinism), the original panic
+// value, and the worker's stack at the point of panic. Callers that
+// recover a ParallelFor panic can unwrap it for all three.
+type PanicError struct {
+	Index int    // loop index whose fn panicked
+	Value any    // the original panic value
+	Stack []byte // worker stack captured at recover time
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("core: ParallelFor worker panicked at index %d: %v", p.Index, p.Value)
+}
+
 // ParallelFor runs fn(i) for every i in [0, n), fanned out over at most
 // `workers` goroutines in contiguous chunks (worker g owns one chunk, so
 // per-index work is never interleaved within a chunk). workers <= 1 runs
@@ -26,6 +42,13 @@ func ResolveParallelism(p int) int {
 // other packages (the scenario runner's cell shards, batched local
 // evaluation) reuse one parallelism primitive instead of growing their
 // own pools.
+//
+// A panicking fn does not kill the process from a bare worker goroutine:
+// the panic is recovered, all workers drain, and the panic of the
+// lowest-index failing call is re-raised on the caller as a *PanicError
+// carrying the original value and the worker's stack. (A worker that
+// panics abandons the rest of its chunk; the indices it skipped are not
+// retried.)
 func ParallelFor(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -36,7 +59,11 @@ func ParallelFor(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *PanicError
+	)
 	chunk := (n + workers - 1) / workers
 	for g := 0; g < workers; g++ {
 		lo := g * chunk
@@ -50,10 +77,24 @@ func ParallelFor(workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			i := lo
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+					mu.Lock()
+					if first == nil || i < first.Index {
+						first = pe
+					}
+					mu.Unlock()
+				}
+			}()
+			for ; i < hi; i++ {
 				fn(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForPanicPropagates is the regression test for the bare
+// goroutine panic: a panicking worker used to kill the whole process;
+// now the panic is recovered, all workers drain, and the lowest failing
+// index is re-raised on the caller as a *PanicError carrying the
+// original value and the worker stack.
+func TestParallelForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate to the caller", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Value != "boom 3" {
+					t.Errorf("workers=%d: panic value %v, want the lowest index's (boom 3)", workers, pe.Value)
+				}
+				if pe.Index != 3 {
+					t.Errorf("workers=%d: panic index %d, want 3", workers, pe.Index)
+				}
+				if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "ParallelFor") {
+					t.Errorf("workers=%d: captured stack does not mention ParallelFor", workers)
+				}
+				if !strings.Contains(pe.Error(), "index 3") {
+					t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+				}
+			}()
+			ParallelFor(workers, 64, func(i int) {
+				ran.Add(1)
+				// Two workers panic; the lowest index must win. Index 3 and
+				// the last index land in different chunks for every workers
+				// value tried.
+				if i == 3 || i == 63 {
+					panic("boom " + string(rune('0'+i%10)))
+				}
+			})
+		}()
+		// All workers drained: every index outside the panicking worker's
+		// abandoned chunk tail ran.
+		if ran.Load() == 0 {
+			t.Fatalf("workers=%d: no iterations ran", workers)
+		}
+	}
+}
+
+// TestParallelForInlinePanic pins the workers<=1 path: the panic surfaces
+// raw (no goroutine involved, nothing to wrap).
+func TestParallelForInlinePanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want raw panic value", r)
+		}
+	}()
+	ParallelFor(1, 4, func(i int) {
+		if i == 2 {
+			panic("inline")
+		}
+	})
+}
+
+// TestParallelForNoPanic pins the happy path after the recover wrapping:
+// every index runs exactly once.
+func TestParallelForNoPanic(t *testing.T) {
+	var sum atomic.Int64
+	ParallelFor(4, 100, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime/debug"
 
 	"repro/internal/bits"
 )
@@ -81,8 +83,17 @@ func (pn *procNode) Step(ctx *Ctx, in []*bits.Buffer) (bool, error) {
 			done:    make(chan struct{}),
 		}
 		go func() {
+			defer func() {
+				// A body panic (e.g. an index derived from corrupted wire
+				// data) must surface as this node's error — a detected
+				// failure the harness can classify — never kill the
+				// process from an engine goroutine.
+				if r := recover(); r != nil {
+					pn.proc.retErr = fmt.Errorf("core: node body panic: %v\n%s", r, debug.Stack())
+				}
+				close(pn.proc.done)
+			}()
 			pn.proc.retErr = pn.body(pn.proc)
-			close(pn.proc.done)
 		}()
 	} else {
 		// Deliver this round's inbox to the body blocked inside Next.

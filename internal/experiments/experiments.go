@@ -38,6 +38,7 @@ var All = []Experiment{
 	{"E14", "evaluation-engine ablation: scalar vs dense vs bitsliced (DESIGN.md §7)", E14EvalEngines},
 	{"E15", "semiring MM ablation: naive row-broadcast vs cube partition (DESIGN.md §9)", E15SemiringMM},
 	{"E16", "ℓ0-sketch connectivity: sketch Borůvka vs broadcast baseline (DESIGN.md §10)", E16SketchConnectivity},
+	{"E17", "fault-injection adversary: deterministic faults, hardened recovery, zero silent corruption (DESIGN.md §11)", E17FaultInjection},
 	{"EA1", "ablations over the reproduction's design choices (DESIGN.md §4)", EA1Ablations},
 }
 

@@ -1,0 +1,271 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func framePayload(t *testing.T, data []byte, n int) *bits.Buffer {
+	t.Helper()
+	b, err := bits.FromBits(data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 37, 256, 1000} {
+		data := make([]byte, (n+7)/8)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		if n%8 != 0 {
+			data[len(data)-1] &= byte(1<<uint(n%8)) - 1
+		}
+		payload := framePayload(t, data, n)
+		frame, err := EncodeFrame(payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if frame.Len() != FrameBits(n) {
+			t.Fatalf("n=%d: frame is %d bits, want %d", n, frame.Len(), FrameBits(n))
+		}
+		got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !got.Equal(payload) {
+			t.Fatalf("n=%d: payload mangled", n)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	big := bits.New(MaxFramePayloadBits + 1)
+	big.ZeroExtend(MaxFramePayloadBits + 1)
+	if _, err := EncodeFrame(big); !errors.Is(err, ErrPayloadTooLong) {
+		t.Fatalf("err = %v, want ErrPayloadTooLong", err)
+	}
+}
+
+func TestFrameRejectsMutations(t *testing.T) {
+	payload := framePayload(t, []byte{0xde, 0xad, 0xbe, 0xef}, 30)
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated below the header.
+	stub, _ := frame.Slice(0, 20)
+	if _, err := DecodeFrame(stub); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("header-short frame: err = %v", err)
+	}
+	// Truncated mid-payload.
+	short, _ := frame.Slice(0, frame.Len()-5)
+	if _, err := DecodeFrame(short); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("truncated frame: err = %v", err)
+	}
+	// Extended.
+	long := frame.Clone()
+	long.WriteUint(0, 5)
+	if _, err := DecodeFrame(long); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("extended frame: err = %v", err)
+	}
+	// Every single-bit flip across the whole frame must be caught.
+	for i := 0; i < frame.Len(); i++ {
+		bad := frame.Clone()
+		bad.FlipBit(i)
+		if _, err := DecodeFrame(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("flip at bit %d accepted: err = %v", i, err)
+		}
+	}
+}
+
+// TestFrameHeavyCorruption hammers frames with many random flips: decode
+// must detect (the overwhelmingly likely case for >3 flips) or — never —
+// return a payload different from the original. With a fixed seed this
+// is fully deterministic.
+func TestFrameHeavyCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	payload := framePayload(t, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 64)
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		bad := frame.Clone()
+		flips := 4 + rng.Intn(12)
+		for f := 0; f < flips; f++ {
+			bad.FlipBit(rng.Intn(bad.Len()))
+		}
+		got, err := DecodeFrame(bad)
+		if err == nil && !got.Equal(payload) {
+			t.Fatalf("trial %d: corrupted frame decoded to a DIFFERENT payload (silent corruption)", trial)
+		}
+	}
+}
+
+// reliablePair runs a 2-node reliable stream under the given fault spec
+// and returns (sender error, receiver payload, receiver error).
+func reliablePair(t *testing.T, payloadBits, bandwidth int, opt ReliableOpts, spec fault.Spec, seed int64) (error, *bits.Buffer, error) {
+	t.Helper()
+	payload := bits.New(payloadBits)
+	for i := 0; i < payloadBits; i++ {
+		payload.WriteBit(uint64((i * 7) & 1))
+	}
+	rounds := ReliableRounds(payloadBits, bandwidth)
+	var sendErr, recvErr error
+	var got *bits.Buffer
+	var plan core.FaultInjector
+	if spec.Active() {
+		plan = fault.New(spec, seed)
+	}
+	_, err := core.RunProcsEach(core.Config{
+		N: 2, Bandwidth: bandwidth, Model: core.Unicast, Seed: seed,
+		FaultPlan: plan, QuiesceLimit: -1,
+	}, []func(*core.Proc) error{
+		func(p *core.Proc) error {
+			sendErr = SendReliable(p, 1, payload, rounds, opt)
+			return nil
+		},
+		func(p *core.Proc) error {
+			got, recvErr = RecvReliable(p, 0, rounds, opt)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if recvErr == nil && !got.Equal(payload) {
+		t.Fatal("receiver accepted a payload that differs from the original (silent corruption)")
+	}
+	return sendErr, got, recvErr
+}
+
+func TestReliableCleanChannel(t *testing.T) {
+	sendErr, got, recvErr := reliablePair(t, 200, 32, ReliableOpts{}, fault.Spec{}, 1)
+	if sendErr != nil || recvErr != nil || got == nil {
+		t.Fatalf("clean channel: sendErr=%v recvErr=%v", sendErr, recvErr)
+	}
+}
+
+// TestReliableRecoversFromFaults: at moderate drop/corrupt rates the
+// retransmit schedule delivers the exact payload. Seeds are fixed, so
+// these are deterministic replays, not flaky probes.
+func TestReliableRecoversFromFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec fault.Spec
+	}{
+		{"drop", fault.Spec{Drop: 0.15}},
+		{"corrupt", fault.Spec{Corrupt: 0.15}},
+		{"delay", fault.Spec{Delay: 0.15}},
+		{"dup", fault.Spec{Duplicate: 0.2}},
+		{"mixed", fault.Spec{Drop: 0.08, Corrupt: 0.08, Delay: 0.08, Duplicate: 0.08}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sendErr, got, recvErr := reliablePair(t, 200, 32, ReliableOpts{}, tc.spec, 3)
+			if recvErr != nil {
+				t.Fatalf("receiver failed under %v: %v", tc.spec, recvErr)
+			}
+			if got == nil {
+				t.Fatal("no payload")
+			}
+			if sendErr != nil {
+				t.Fatalf("sender unacked under %v: %v", tc.spec, sendErr)
+			}
+		})
+	}
+}
+
+// TestReliableDetectsTotalLoss: a fully lossy link yields explicit
+// errors on both ends — never a hang (fixed schedule) and never a bogus
+// payload.
+func TestReliableDetectsTotalLoss(t *testing.T) {
+	sendErr, got, recvErr := reliablePair(t, 200, 32, ReliableOpts{MaxAttempts: 3}, fault.Spec{Drop: 1}, 5)
+	if !errors.Is(sendErr, ErrUnacked) {
+		t.Errorf("sender err = %v, want ErrUnacked", sendErr)
+	}
+	if !errors.Is(recvErr, ErrCorruptFrame) {
+		t.Errorf("receiver err = %v, want ErrCorruptFrame", recvErr)
+	}
+	if got != nil {
+		t.Error("receiver produced a payload from a fully lossy link")
+	}
+}
+
+// TestReliableDeterministicAcrossParallelism: the full exchange replays
+// bit-for-bit under different engine worker counts.
+func TestReliableDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) (*core.Result, error) {
+		payload := bits.New(120)
+		for i := 0; i < 120; i++ {
+			payload.WriteBit(uint64(i & 1))
+		}
+		rounds := ReliableRounds(120, 16)
+		return core.RunProcsEach(core.Config{
+			N: 2, Bandwidth: 16, Model: core.Unicast, Seed: 9,
+			Parallelism: par, QuiesceLimit: -1,
+			FaultPlan: fault.New(fault.Spec{Drop: 0.1, Corrupt: 0.1}, 9),
+		}, []func(*core.Proc) error{
+			func(p *core.Proc) error { return SendReliable(p, 1, payload, rounds, ReliableOpts{}) },
+			func(p *core.Proc) error {
+				_, err := RecvReliable(p, 0, rounds, ReliableOpts{})
+				return err
+			},
+		})
+	}
+	seq, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("stats differ:\n seq %+v\n par %+v", seq.Stats, par.Stats)
+	}
+	if !reflect.DeepEqual(seq.Faults, par.Faults) {
+		t.Errorf("fault stats differ:\n seq %+v\n par %+v", seq.Faults, par.Faults)
+	}
+}
+
+// TestReliableBitsScaleWithFaultRate pins the recovery-overhead story:
+// a faultier link costs more bits (retransmissions) while the round
+// schedule stays fixed.
+func TestReliableBitsScaleWithFaultRate(t *testing.T) {
+	cost := func(spec fault.Spec) int64 {
+		payload := bits.New(240)
+		payload.ZeroExtend(240)
+		rounds := ReliableRounds(240, 24)
+		var plan core.FaultInjector
+		if spec.Active() {
+			plan = fault.New(spec, 13)
+		}
+		res, err := core.RunProcsEach(core.Config{
+			N: 2, Bandwidth: 24, Model: core.Unicast, Seed: 13,
+			FaultPlan: plan, QuiesceLimit: -1,
+		}, []func(*core.Proc) error{
+			func(p *core.Proc) error { SendReliable(p, 1, payload, rounds, ReliableOpts{}); return nil },
+			func(p *core.Proc) error { RecvReliable(p, 0, rounds, ReliableOpts{}); return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TotalBits
+	}
+	clean := cost(fault.Spec{})
+	lossy := cost(fault.Spec{Drop: 0.3})
+	if lossy <= clean {
+		t.Errorf("TotalBits %d at drop=0.3 not above clean %d (no retransmissions?)", lossy, clean)
+	}
+}

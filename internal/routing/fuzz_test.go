@@ -116,6 +116,63 @@ func FuzzExchangeUnicast(f *testing.F) {
 	})
 }
 
+// FuzzFaultFrame drives corrupted frames through the checksum decoder
+// and asserts the detection guarantee EncodeFrame/DecodeFrame document:
+// an intact frame round-trips exactly, and ANY corruption of 1–3 bit
+// flips is rejected — never mis-accepted. Up to 3 flips the guarantee is
+// a theorem (structural length check + CRC-32/IEEE Hamming distance 4
+// through 91,607 bits), so this fuzz target can never legitimately fail
+// and any crash or mis-accept it finds is a real decoder bug.
+func FuzzFaultFrame(f *testing.F) {
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, 30, uint32(3), uint32(17), uint32(44), uint8(3))
+	f.Add([]byte{}, 0, uint32(0), uint32(1), uint32(2), uint8(1))
+	f.Add([]byte{0xff}, 8, uint32(5), uint32(5), uint32(5), uint8(2))
+	f.Fuzz(func(t *testing.T, payload []byte, nbits int, p1, p2, p3 uint32, nflips uint8) {
+		if nbits < 0 || nbits > 8*len(payload) {
+			nbits = 8 * len(payload)
+		}
+		if nbits > 1<<12 {
+			nbits = 1 << 12
+		}
+		src, err := bits.FromBits(payload, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := EncodeFrame(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Intact round-trip.
+		got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("intact frame rejected: %v", err)
+		}
+		if !got.Equal(src) {
+			t.Fatal("intact frame decoded to different payload")
+		}
+
+		// 1..3 distinct flips must all be detected.
+		want := 1 + int(nflips)%3
+		seen := map[int]bool{}
+		bad := frame.Clone()
+		for _, p := range []uint32{p1, p2, p3}[:want] {
+			pos := int(p) % frame.Len()
+			if seen[pos] {
+				continue // colliding positions would cancel; keep flips distinct
+			}
+			seen[pos] = true
+			bad.FlipBit(pos)
+		}
+		if len(seen) == 0 {
+			return
+		}
+		if _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("frame with %d flipped bits accepted (positions %v)", len(seen), seen)
+		}
+	})
+}
+
 // runFuzzExchange runs ExchangeUnicast on an n-clique where node u ships
 // payload(u, v) to every v != u, and asserts exact delivery. Node bodies
 // run on engine worker goroutines, so failures propagate as errors.

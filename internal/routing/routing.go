@@ -198,8 +198,13 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			}
 			rd.Reset(buf)
 			dst64, err := rd.ReadUint(w)
-			if err != nil {
-				return nil, fmt.Errorf("routing: bad phase-1 header from %d: %w", src, err)
+			if err != nil || int(dst64) >= n {
+				// Truncated or corrupted relay header — possible only under
+				// fault injection, never on a clean channel. Treat the
+				// message as lost instead of failing the epoch: absence is
+				// what the protocol layer's frame validation detects.
+				buf.Release()
+				continue
 			}
 			payload, err := buf.Slice(w, buf.Len())
 			if err != nil {
@@ -224,6 +229,16 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 				recv = append(recv, m)
 				continue
 			}
+			if perDst[m.Dst] != nil {
+				// A corrupted phase-1 header collided with a legitimate
+				// message's relay slot (clean-channel coloring guarantees
+				// one message per destination per class). First wins; the
+				// loser counts as lost in transit.
+				if h.owned {
+					m.Payload.Release()
+				}
+				continue
+			}
 			buf := bits.Get(w + m.Payload.Len())
 			buf.WriteUint(uint64(m.Src), w)
 			buf.Append(m.Payload)
@@ -245,8 +260,10 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 			}
 			rd.Reset(buf)
 			src64, err := rd.ReadUint(w)
-			if err != nil {
-				return nil, fmt.Errorf("routing: bad phase-2 header: %w", err)
+			if err != nil || int(src64) >= n {
+				// Lost or corrupted relay header: drop, as in phase 1.
+				buf.Release()
+				continue
 			}
 			payload, err := buf.Slice(w, buf.Len())
 			if err != nil {

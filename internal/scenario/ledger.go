@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LedgerSchema names the resume-ledger layout (DESIGN.md §11). The
+// ledger is append-only JSONL: a header line binding the file to one
+// (matrix, options) run, then one line per completed cell. Appends are
+// whole lines, so the only damage an interrupt can cause is a torn final
+// line — which resume detects and discards, re-running just that cell.
+const LedgerSchema = "scenario-ledger/v1"
+
+// ledgerHeader binds a ledger file to the run that produced it. Resuming
+// under a different seed, fault spec, or matrix shape would silently mix
+// incompatible results, so openLedger refuses on any mismatch.
+type ledgerHeader struct {
+	Schema   string `json:"schema"`
+	BaseSeed int64  `json:"base_seed"`
+	Faults   string `json:"faults"`
+	Cells    int    `json:"cells"`
+}
+
+// ledgerEntry is one completed cell.
+type ledgerEntry struct {
+	Key  string     `json:"key"`
+	Cell CellResult `json:"cell"`
+}
+
+// ledger is the open append handle; appends are serialized because
+// classification may one day happen concurrently.
+type ledger struct {
+	f  *os.File
+	mu sync.Mutex
+}
+
+// cellKey identifies a cell across runs: full coordinates plus the
+// derived seed (which already folds in the base seed).
+func cellKey(c Cell) string {
+	return fmt.Sprintf("%s|%d|%s|%s|%d", c.Family.Name, c.N, c.Engine.Name, c.Protocol.Name, c.Seed)
+}
+
+// openLedger opens (or creates) the resume ledger at path and returns
+// the cells already completed by a previous run. path == "" disables the
+// ledger. An existing file must carry a matching header; a torn final
+// line (interrupted append) is discarded.
+func openLedger(path string, m *Matrix, opt RunOptions) (*ledger, map[string]CellResult, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	want := ledgerHeader{
+		Schema:   LedgerSchema,
+		BaseSeed: m.BaseSeed,
+		Faults:   opt.Faults.String(),
+		Cells:    len(m.Expand()),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("scenario: ledger %s: %w", path, err)
+	}
+	fresh := errors.Is(err, os.ErrNotExist) || strings.TrimSpace(string(data)) == ""
+	prior := map[string]CellResult{}
+	if !fresh {
+		lines := strings.Split(string(data), "\n")
+		var hdr ledgerHeader
+		if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+			return nil, nil, fmt.Errorf("scenario: ledger %s: bad header: %v (delete the file to restart)", path, err)
+		}
+		if hdr != want {
+			return nil, nil, fmt.Errorf("scenario: ledger %s belongs to a different run: have %+v, want %+v (delete the file to restart)",
+				path, hdr, want)
+		}
+		for _, ln := range lines[1:] {
+			if strings.TrimSpace(ln) == "" {
+				continue
+			}
+			var e ledgerEntry
+			if err := json.Unmarshal([]byte(ln), &e); err != nil {
+				// Torn tail from an interrupted append; every line before
+				// it is intact (appends are whole lines).
+				break
+			}
+			prior[e.Key] = e.Cell
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: ledger %s: %w", path, err)
+	}
+	if fresh {
+		hdr, err := json.Marshal(want)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("scenario: ledger %s: %w", path, err)
+		}
+	}
+	return &ledger{f: f}, prior, nil
+}
+
+// append records one completed cell.
+func (l *ledger) append(key string, cr CellResult) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := json.Marshal(ledgerEntry{Key: key, Cell: cr})
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("scenario: ledger append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the append handle.
+func (l *ledger) Close() error { return l.f.Close() }

@@ -162,10 +162,18 @@ const routePayloadBits = 24
 // runRouting routes one message per directed edge of g (all-to-all when g
 // is complete — the worst-case Lenzen demand) through Router.Route, and
 // every node verifies the payload bits it receives against the
-// deterministic expectation before digesting them in canonical order.
+// deterministic expectation before digesting them in canonical order. On
+// faulted cells each payload travels inside a checksummed wire frame
+// (routing.EncodeFrame), so corrupted deliveries fail frame validation —
+// an explicit detected error — before the payload expectation is even
+// consulted; lost messages surface through the receive-count check.
 func runRouting(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult, error) {
 	n := g.N()
 	rt := routing.NewRouter(n)
+	maxPayload := routePayloadBits
+	if leg.Faulty {
+		maxPayload = routing.FrameBits(routePayloadBits)
+	}
 	cfg := core.Config{N: n, Bandwidth: bandwidth, Model: core.Unicast, Seed: seed}
 	res, err := core.RunProcs(cfg, func(p *core.Proc) error {
 		me := p.ID()
@@ -174,9 +182,16 @@ func runRouting(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult,
 		for _, v := range nbrs {
 			pl := bits.New(routePayloadBits)
 			pl.WriteUint(demandPayload(seed, me, v, routePayloadBits), routePayloadBits)
+			if leg.Faulty {
+				framed, err := routing.EncodeFrame(pl)
+				if err != nil {
+					return err
+				}
+				pl = framed
+			}
 			out = append(out, routing.Msg{Src: me, Dst: v, Payload: pl})
 		}
-		in, err := rt.Route(p, out, routePayloadBits)
+		in, err := rt.Route(p, out, maxPayload)
 		if err != nil {
 			return err
 		}
@@ -188,7 +203,13 @@ func runRouting(g *graph.Graph, bandwidth int, seed int64, leg Leg) (*LegResult,
 			if !g.HasEdge(m.Src, me) {
 				return fmt.Errorf("routing: node %d got message from non-neighbor %d", me, m.Src)
 			}
-			r := bits.NewReader(m.Payload)
+			payload := m.Payload
+			if leg.Faulty {
+				if payload, err = routing.DecodeFrame(m.Payload); err != nil {
+					return fmt.Errorf("routing: node %d: frame from %d: %w", me, m.Src, err)
+				}
+			}
+			r := bits.NewReader(payload)
 			got, err := r.ReadUint(routePayloadBits)
 			if err != nil {
 				return err

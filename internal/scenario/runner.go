@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sort"
 	"time"
 
@@ -13,8 +12,28 @@ import (
 )
 
 // ReportSchema names the JSON layout documented in DESIGN.md §8; bump it
-// when a field changes meaning.
-const ReportSchema = "scenarios/v1"
+// when a field changes meaning. v2 added Outcome/Error/Attempts per cell
+// and Detected/Infra to the summary (the fault-injection harness).
+const ReportSchema = "scenarios/v2"
+
+// Cell outcomes. Every cell lands in exactly one:
+//
+//   - OutcomeOK: both legs succeeded and agree — under faults, the
+//     protocol recovered the exact fault-free answer.
+//   - OutcomeDetected: the engine leg failed loudly under an active
+//     fault plan (frame validation, stall detector, certificate check).
+//     This is the contracted fallback of every hardened protocol.
+//   - OutcomeDiverged: the legs disagree, a leg failed without faults to
+//     blame, or — the one unforgivable case — the engine leg ACCEPTED a
+//     wrong answer under faults (a silent corruption).
+//   - OutcomeInfra: a leg panicked or timed out even after the
+//     quarantine retries; the cell says nothing about the protocol.
+const (
+	OutcomeOK       = "ok"
+	OutcomeDetected = "detected"
+	OutcomeDiverged = "diverged"
+	OutcomeInfra    = "infra"
+)
 
 // CellResult is the machine-readable record of one matrix cell: its
 // coordinates, the accounting shared by both legs (identical by the
@@ -38,6 +57,10 @@ type CellResult struct {
 	OracleNs int64 `json:"oracle_ns"`
 	EngineNs int64 `json:"engine_ns"`
 
+	Outcome  string `json:"outcome"`
+	Error    string `json:"error,omitempty"`    // detected/infra detail
+	Attempts int    `json:"attempts,omitempty"` // recorded when a leg was retried
+
 	Diverged   bool   `json:"diverged"`
 	Divergence string `json:"divergence,omitempty"`
 }
@@ -47,6 +70,8 @@ type CellResult struct {
 type Summary struct {
 	Cells       int      `json:"cells"`
 	Divergences int      `json:"divergences"`
+	Detected    int      `json:"detected"`
+	Infra       int      `json:"infra"`
 	Families    []string `json:"families"`
 	Sizes       []int    `json:"sizes"`
 	Engines     []string `json:"engines"`
@@ -64,25 +89,28 @@ type Report struct {
 	Date     string       `json:"date"`
 	BaseSeed int64        `json:"base_seed"`
 	Shards   int          `json:"shards"`
+	Faults   string       `json:"faults,omitempty"`
 	Summary  Summary      `json:"summary"`
 	Cells    []CellResult `json:"cells"`
 }
 
 // legOut is one leg's outcome while the passes are in flight.
 type legOut struct {
-	res   *LegResult
-	edges int
-	ns    int64
-	err   error
+	res      *LegResult
+	edges    int
+	ns       int64
+	err      error
+	infra    bool // panic or timeout, as opposed to a protocol error
+	attempts int
 }
 
 // runLeg regenerates the cell's instance and executes one leg.
 // Regenerating per leg (rather than sharing one graph) puts family
 // generation itself under differential test and keeps legs fully
 // independent.
-func runLeg(c Cell, oracle bool) legOut {
+func runLeg(c Cell, oracle, faulty bool) legOut {
 	g := c.Family.Gen(c.N, c.Seed)
-	leg := Leg{Oracle: oracle}
+	leg := Leg{Oracle: oracle, Faulty: faulty}
 	if !oracle {
 		leg.Batch = c.Engine.Batch
 		leg.Parallelism = core.ResolveParallelism(c.Engine.Parallelism)
@@ -124,104 +152,97 @@ func statsDiff(a, b core.Stats) string {
 // RunMatrix executes every cell of the matrix under both the sequential
 // scalar oracle and the cell's engine configuration, diffs the legs, and
 // returns the aggregated report. Cells are sharded across a
-// core.ParallelFor pool of `shards` workers (0 = GOMAXPROCS).
-//
-// Engine parallelism is plumbed to the protocols through the package
-// default (core.SetDefaultParallelism), so the run proceeds in passes —
-// the oracle leg of every cell first, then the engine legs grouped by
-// configuration — and never flips the default while a pass is in flight.
-// The previous default is restored on return.
+// core.ParallelFor pool of `shards` workers (0 = GOMAXPROCS). It is the
+// clean-channel compatibility wrapper around RunMatrixOpts; the only
+// error RunMatrixOpts can return is a ledger failure, which cannot
+// happen without a ledger.
 func RunMatrix(m *Matrix, shards int) *Report {
-	cells := m.Expand()
-	// Shard resolution deliberately bypasses core.ResolveParallelism: the
-	// package default is the *engine* parallelism knob (a -parallelism 1
-	// oracle run must not collapse the cell pool to one shard).
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	rep, err := RunMatrixOpts(m, RunOptions{Shards: shards})
+	if err != nil {
+		// Unreachable without RunOptions.Ledger; keep the signature stable.
+		panic(err)
 	}
-	prev := core.DefaultParallelism()
-	defer core.SetDefaultParallelism(prev)
+	return rep
+}
 
-	wallStart := time.Now()
-	oracle := make([]legOut, len(cells))
-	engine := make([]legOut, len(cells))
-
-	core.SetDefaultParallelism(1)
-	core.ParallelFor(shards, len(cells), func(i int) {
-		oracle[i] = runLeg(cells[i], true)
-	})
-
-	for _, eng := range m.Engines {
-		idx := make([]int, 0, len(cells))
-		for i, c := range cells {
-			if c.Engine.Name == eng.Name {
-				idx = append(idx, i)
-			}
+// classify folds a cell's two leg outcomes into its CellResult. Under an
+// active fault plan the engine leg's Stats legitimately differ from the
+// oracle's (retransmissions, burned sketch copies), so the stats diff
+// only gates clean cells; outputs must match exactly either way — a
+// faulted engine leg that returns success with a different output is a
+// silent corruption, the one outcome the whole subsystem exists to rule
+// out.
+func classify(c Cell, o, e legOut, faulty bool) CellResult {
+	cr := CellResult{
+		Family:   c.Family.Name,
+		N:        c.N,
+		Engine:   c.Engine.Name,
+		Protocol: c.Protocol.Name,
+		Seed:     c.Seed,
+		OracleNs: o.ns,
+		EngineNs: e.ns,
+	}
+	if o.attempts > 1 || e.attempts > 1 {
+		cr.Attempts = o.attempts
+		if e.attempts > cr.Attempts {
+			cr.Attempts = e.attempts
 		}
-		core.SetDefaultParallelism(eng.Parallelism)
-		core.ParallelFor(shards, len(idx), func(k int) {
-			i := idx[k]
-			engine[i] = runLeg(cells[i], false)
-		})
 	}
-
-	rep := &Report{
-		Schema:   ReportSchema,
-		Date:     time.Now().Format("20060102"),
-		BaseSeed: m.BaseSeed,
-		Shards:   shards,
-		Cells:    make([]CellResult, len(cells)),
-	}
-	for i, c := range cells {
-		cr := CellResult{
-			Family:   c.Family.Name,
-			N:        c.N,
-			Engine:   c.Engine.Name,
-			Protocol: c.Protocol.Name,
-			Seed:     c.Seed,
-			OracleNs: oracle[i].ns,
-			EngineNs: engine[i].ns,
-		}
-		o, e := oracle[i], engine[i]
-		switch {
-		case o.err != nil:
-			cr.Diverged = true
-			cr.Divergence = fmt.Sprintf("oracle leg error: %v", o.err)
-		case e.err != nil:
-			cr.Diverged = true
-			cr.Divergence = fmt.Sprintf("engine leg error: %v", e.err)
-		case o.res == nil || e.res == nil:
-			// A protocol returning (nil, nil) is a broken adapter; flag
-			// the cell rather than crash the sweep.
-			cr.Diverged = true
-			cr.Divergence = fmt.Sprintf("protocol returned no result (oracle nil=%v, engine nil=%v)",
-				o.res == nil, e.res == nil)
-		case o.edges != e.edges:
-			cr.Diverged = true
-			cr.Divergence = fmt.Sprintf("generated graphs differ: %d vs %d edges", o.edges, e.edges)
-		case o.res.Output != e.res.Output:
-			cr.Diverged = true
+	switch {
+	case o.infra:
+		cr.Outcome = OutcomeInfra
+		cr.Error = fmt.Sprintf("oracle leg: %v", o.err)
+	case e.infra:
+		cr.Outcome = OutcomeInfra
+		cr.Error = fmt.Sprintf("engine leg: %v", e.err)
+	case o.err != nil:
+		// The oracle leg runs on a clean channel even in faulted sweeps;
+		// its failure is a real protocol/self-check failure.
+		cr.Outcome = OutcomeDiverged
+		cr.Divergence = fmt.Sprintf("oracle leg error: %v", o.err)
+	case e.err != nil && faulty:
+		cr.Outcome = OutcomeDetected
+		cr.Error = e.err.Error()
+	case e.err != nil:
+		cr.Outcome = OutcomeDiverged
+		cr.Divergence = fmt.Sprintf("engine leg error: %v", e.err)
+	case o.res == nil || e.res == nil:
+		// A protocol returning (nil, nil) is a broken adapter; flag
+		// the cell rather than crash the sweep.
+		cr.Outcome = OutcomeDiverged
+		cr.Divergence = fmt.Sprintf("protocol returned no result (oracle nil=%v, engine nil=%v)",
+			o.res == nil, e.res == nil)
+	case o.edges != e.edges:
+		cr.Outcome = OutcomeDiverged
+		cr.Divergence = fmt.Sprintf("generated graphs differ: %d vs %d edges", o.edges, e.edges)
+	case o.res.Output != e.res.Output:
+		cr.Outcome = OutcomeDiverged
+		if faulty {
+			cr.Divergence = fmt.Sprintf("SILENT CORRUPTION: engine leg accepted %q under faults, oracle says %q",
+				e.res.Output, o.res.Output)
+		} else {
 			cr.Divergence = fmt.Sprintf("outputs differ: oracle %q vs engine %q", o.res.Output, e.res.Output)
-		default:
+		}
+	default:
+		cr.Outcome = OutcomeOK
+		if !faulty {
 			if d := statsDiff(o.res.Stats, e.res.Stats); d != "" {
-				cr.Diverged = true
+				cr.Outcome = OutcomeDiverged
 				cr.Divergence = "stats differ: " + d
 			}
 		}
-		if o.err == nil && o.res != nil {
-			cr.GraphEdges = o.edges
-			cr.Rounds = o.res.Stats.Rounds
-			cr.Steps = o.res.Stats.Steps
-			cr.TotalBits = o.res.Stats.TotalBits
-			cr.MaxLinkBits = o.res.Stats.MaxLinkBits
-			cr.MaxNodeBits = o.res.Stats.MaxNodeBits
-			cr.Output = o.res.Output
-		}
-		rep.Cells[i] = cr
 	}
-	rep.Summary = summarize(rep, m)
-	rep.Summary.WallNs = time.Since(wallStart).Nanoseconds()
-	return rep
+	cr.Diverged = cr.Outcome == OutcomeDiverged
+	if o.err == nil && o.res != nil {
+		cr.GraphEdges = o.edges
+		cr.Rounds = o.res.Stats.Rounds
+		cr.Steps = o.res.Stats.Steps
+		cr.TotalBits = o.res.Stats.TotalBits
+		cr.MaxLinkBits = o.res.Stats.MaxLinkBits
+		cr.MaxNodeBits = o.res.Stats.MaxNodeBits
+		cr.Output = o.res.Output
+	}
+	return cr
 }
 
 // summarize folds the cell records into the Summary block.
@@ -241,8 +262,13 @@ func summarize(rep *Report, m *Matrix) Summary {
 	sort.Strings(s.Engines)
 	sort.Strings(s.Protocols)
 	for _, c := range rep.Cells {
-		if c.Diverged {
+		switch c.Outcome {
+		case OutcomeDiverged:
 			s.Divergences++
+		case OutcomeDetected:
+			s.Detected++
+		case OutcomeInfra:
+			s.Infra++
 		}
 		s.TotalRounds += int64(c.Rounds)
 		s.TotalBits += c.TotalBits
@@ -250,6 +276,35 @@ func summarize(rep *Report, m *Matrix) Summary {
 		s.EngineNs += c.EngineNs
 	}
 	return s
+}
+
+// ExitCode maps the run to the scenariorun process exit code documented
+// in DESIGN.md §8: 0 all ok, 1 any divergence (including silent
+// corruption under faults), 3 detected faults only, 4 infrastructure
+// failures (2 is reserved for usage errors). Divergence outranks infra
+// outranks detected: the worst news is the headline.
+func (rep *Report) ExitCode() int {
+	var div, det, infra int
+	for _, c := range rep.Cells {
+		switch {
+		case c.Diverged || c.Outcome == OutcomeDiverged:
+			div++
+		case c.Outcome == OutcomeInfra:
+			infra++
+		case c.Outcome == OutcomeDetected:
+			det++
+		}
+	}
+	switch {
+	case div > 0:
+		return 1
+	case infra > 0:
+		return 4
+	case det > 0:
+		return 3
+	default:
+		return 0
+	}
 }
 
 // WriteJSON writes the report to path (SCENARIOS_<date>.json by
@@ -271,8 +326,8 @@ func (rep *Report) WriteJSON(path string) (string, error) {
 
 // WriteAndReport writes the report to path ("" = SCENARIOS_<date>.json),
 // prints the summary line to w and any divergences to errw, and returns
-// the process exit code (0 clean, 1 on divergences or a write error).
-// Both cmd entry points share it so divergence rendering cannot drift.
+// the process exit code (see ExitCode; a write error returns 1). Both
+// cmd entry points share it so divergence rendering cannot drift.
 func (rep *Report) WriteAndReport(path string, w, errw io.Writer) int {
 	written, err := rep.WriteJSON(path)
 	if err != nil {
@@ -280,17 +335,22 @@ func (rep *Report) WriteAndReport(path string, w, errw io.Writer) int {
 		return 1
 	}
 	s := rep.Summary
-	fmt.Fprintf(w, "scenario matrix: %d cells, %d divergences, rounds=%d bits=%d; wrote %s\n",
-		s.Cells, s.Divergences, s.TotalRounds, s.TotalBits, written)
+	fmt.Fprintf(w, "scenario matrix: %d cells, %d divergences, %d detected, %d infra, rounds=%d bits=%d; wrote %s\n",
+		s.Cells, s.Divergences, s.Detected, s.Infra, s.TotalRounds, s.TotalBits, written)
 	if div := rep.Divergent(); len(div) > 0 {
 		fmt.Fprintf(errw, "DIVERGENCES: %d\n", len(div))
 		for _, c := range div {
 			fmt.Fprintf(errw, "  %s n=%d %s %s: %s\n", c.Family, c.N, c.Engine, c.Protocol, c.Divergence)
 		}
-		return 1
+	} else if s.Detected == 0 && s.Infra == 0 {
+		fmt.Fprintln(w, "  oracle and engine agree bit-for-bit on every cell")
 	}
-	fmt.Fprintln(w, "  oracle and engine agree bit-for-bit on every cell")
-	return 0
+	for _, c := range rep.Cells {
+		if c.Outcome == OutcomeInfra {
+			fmt.Fprintf(errw, "  INFRA %s n=%d %s %s: %s\n", c.Family, c.N, c.Engine, c.Protocol, c.Error)
+		}
+	}
+	return rep.ExitCode()
 }
 
 // Divergent returns the cells that diverged (empty on a clean run).

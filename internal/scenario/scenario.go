@@ -51,11 +51,18 @@ type EngineConfig struct {
 
 // Leg tells a protocol adapter which side of the differential it is
 // running: the oracle (sequential engine, scalar local evaluation) or the
-// engine configuration under test.
+// engine configuration under test. Faulty is set on BOTH legs of a
+// faulted cell (RunOptions.Faults active): the adapter must pick its
+// hardened protocol variant and emit a fault-stable output — one that is
+// invariant under recovery detours (extra Borůvka phases, alternative
+// but equally valid certificates) — while the adversary itself is only
+// installed for the engine leg. The oracle leg therefore runs the same
+// hardened variant on a clean channel and defines the expected output.
 type Leg struct {
 	Oracle      bool
 	Parallelism int // resolved worker count for local batch evaluation
 	Batch       bool
+	Faulty      bool
 }
 
 // LegResult is one execution of a cell: a canonical, printable digest of

@@ -25,6 +25,17 @@ const (
 	// over all n-1 links of every loser: the O(1)-round concentration the
 	// paper's routing black box buys (DESIGN.md §10).
 	LenzenAgg
+	// DirectFramedAgg is DirectAgg hardened for lossy links: every
+	// (class, copy) sampler travels in its own checksummed frame
+	// (routing.EncodeFrame) tagged with its coordinates, and a record
+	// that is lost or fails validation poisons that copy of the merged
+	// stack instead of aborting the run. A leader probing a poisoned
+	// copy broadcasts statusStalled and retries on the next copy — the
+	// stack's slack copies are exactly the budget this recovery spends.
+	DirectFramedAgg
+	// LenzenFramedAgg applies the same frame-and-poison hardening to the
+	// Lenzen-routed concentration.
+	LenzenFramedAgg
 )
 
 func (a Aggregation) String() string {
@@ -33,10 +44,25 @@ func (a Aggregation) String() string {
 		return "direct"
 	case LenzenAgg:
 		return "lenzen"
+	case DirectFramedAgg:
+		return "direct-framed"
+	case LenzenFramedAgg:
+		return "lenzen-framed"
 	default:
 		return fmt.Sprintf("Aggregation(%d)", int(a))
 	}
 }
+
+// framed reports whether the aggregation carries per-copy frames and
+// poison-recovery semantics.
+func (a Aggregation) framed() bool { return a == DirectFramedAgg || a == LenzenFramedAgg }
+
+// statusRepeats is how many times the framed aggregations repeat each
+// phase's status broadcast: a recipient accepts the first repetition
+// that passes frame validation, so a status is lost only when all
+// repetitions are — which turns a per-message loss rate p into a
+// per-status loss rate p^statusRepeats.
+const statusRepeats = 3
 
 // stackSlack is the number of spare sampler copies beyond the analytic
 // phase bound: recovery failures stall a component for a phase and
@@ -226,6 +252,20 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 			stacks[w].Toggle(EdgeID(n, me, v))
 		}
 
+		// Poison marks for the framed aggregations: poisoned[w][q] means
+		// this node's merged class-w copy-q sampler lost a contribution
+		// in transit (invalid or missing ship record) and its content
+		// can't be trusted. Strictly winner-local — shared state is only
+		// ever driven by the status broadcasts, so one node's poison
+		// shows up to the others as an ordinary stall.
+		var poisoned [][]bool
+		if agg.framed() {
+			poisoned = make([][]bool, classes)
+			for w := range poisoned {
+				poisoned[w] = make([]bool, copies)
+			}
+		}
+
 		// Deterministic shared state every node tracks identically from
 		// the broadcast proposals alone.
 		comp := make([]int, n)
@@ -252,17 +292,24 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 			status := statusFinished
 			var proposal uint64
 			if comp[me] == me && !finished[me] {
-				s := stacks[cls].Samplers[phase]
-				switch {
-				case s.IsZero():
-					status = statusFinished
-				default:
+				if poisoned != nil && poisoned[cls][phase] {
+					// This copy lost a merge contribution in transit:
+					// its content is garbage, not merely ambiguous.
+					// Burn the phase and retry on the next copy.
 					status = statusStalled
-					if id, ok := s.Recover(); ok {
-						u, v := EdgeEndpoints(n, id)
-						if (comp[u] == me) != (comp[v] == me) {
-							status = statusPropose
-							proposal = id
+				} else {
+					s := stacks[cls].Samplers[phase]
+					switch {
+					case s.IsZero():
+						status = statusFinished
+					default:
+						status = statusStalled
+						if id, ok := s.Recover(); ok {
+							u, v := EdgeEndpoints(n, id)
+							if (comp[u] == me) != (comp[v] == me) {
+								status = statusPropose
+								proposal = id
+							}
 						}
 					}
 				}
@@ -275,7 +322,13 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 				payload.WriteUint(uint64(status), 2)
 				payload.WriteUint(proposal, idW)
 			}
-			got, err := core.ExchangeBroadcasts(p, payload, propRounds)
+			var got []*bits.Buffer
+			var err error
+			if agg.framed() {
+				got, err = exchangeStatusFramed(p, payload, propBits)
+			} else {
+				got, err = core.ExchangeBroadcasts(p, payload, propRounds)
+			}
 			if err != nil {
 				return err
 			}
@@ -311,6 +364,13 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 					anyStalled = true
 					allFinished = false
 				case statusPropose:
+					// Range-check before the id ever reaches EdgeEndpoints:
+					// a corrupted broadcast must surface as a detected
+					// error, not a panic.
+					if id >= uint64(universe) {
+						return fmt.Errorf("sketch: leader %d proposed edge id %d outside universe %d (corrupted broadcast?)",
+							l, id, universe)
+					}
 					props = append(props, prop{l, id})
 					allFinished = false
 				default:
@@ -378,7 +438,7 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 				if phase+1 >= copies {
 					return fmt.Errorf("sketch: no sketch copies left to ship after phase %d", phase)
 				}
-				if err := shipStacks(p, rt, agg, stacks, losers, comp, cls, phase+1, clsW, qW, sampleBits); err != nil {
+				if err := shipStacks(p, rt, agg, stacks, poisoned, losers, comp, cls, phase+1, clsW, qW, sampleBits); err != nil {
 					return err
 				}
 			}
@@ -411,10 +471,72 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 	return assembleCC(n, res)
 }
 
+// exchangeStatusFramed is the framed aggregations' replacement for the
+// plain status broadcast: the payload travels inside a checksummed frame
+// and the whole broadcast is repeated statusRepeats times, each
+// repetition accumulated separately so a loss in one cannot garble
+// another. A recipient keeps the first repetition that validates; nodes
+// that broadcast nothing (non-leaders, finished leaders, crashed nodes)
+// simply yield nil entries, exactly like core.ExchangeBroadcasts.
+// Detection is preserved: a corrupted frame never decodes, so a leader
+// whose every repetition was lost shows up as a nil entry the caller
+// rejects — shared state is driven only by validated statuses.
+func exchangeStatusFramed(p *core.Proc, payload *bits.Buffer, propBits int) ([]*bits.Buffer, error) {
+	n, b := p.N(), p.Bandwidth()
+	rounds := core.ChunkRounds(routing.FrameBits(propBits), b)
+	got := make([]*bits.Buffer, n)
+	var chunks []*bits.Buffer
+	if payload.Len() > 0 {
+		frame, err := routing.EncodeFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		chunks = frame.Chunks(b)
+	}
+	acc := make([]*bits.Buffer, n)
+	for rep := 0; rep < statusRepeats; rep++ {
+		for i := range acc {
+			acc[i] = nil
+		}
+		for r := 0; r < rounds; r++ {
+			if r < len(chunks) {
+				if err := p.Broadcast(chunks[r].Clone()); err != nil {
+					return nil, err
+				}
+			}
+			in := p.Next()
+			for src, msg := range in {
+				if msg == nil {
+					continue
+				}
+				if acc[src] == nil {
+					acc[src] = bits.New(routing.FrameBits(propBits))
+				}
+				acc[src].Append(msg)
+			}
+		}
+		for src := 0; src < n; src++ {
+			if got[src] != nil || acc[src] == nil {
+				continue
+			}
+			if pl, err := routing.DecodeFrame(acc[src]); err == nil {
+				got[src] = pl
+			}
+		}
+	}
+	if payload.Len() > 0 {
+		got[p.ID()] = payload.Clone()
+	}
+	return got, nil
+}
+
 // shipStacks moves every loser's remaining sketch copies to its new
-// leader, in lock step across all n players.
+// leader, in lock step across all n players. For the framed
+// aggregations, `poisoned` is both read (a loser ships poison markers
+// for copies it no longer trusts) and written (a winner poisons every
+// copy whose record was lost or failed validation).
 func shipStacks(p *core.Proc, rt *routing.Router, agg Aggregation, stacks []*Stack,
-	losers []int, comp []int, cls, from, clsW, qW, sampleBits int) error {
+	poisoned [][]bool, losers []int, comp []int, cls, from, clsW, qW, sampleBits int) error {
 	me := p.ID()
 	classes := len(stacks)
 	copies := len(stacks[0].Samplers)
@@ -526,9 +648,248 @@ func shipStacks(p *core.Proc, rt *routing.Router, agg Aggregation, stacks []*Sta
 		}
 		return nil
 
+	case DirectFramedAgg:
+		// DirectAgg's chunked stream, hardened: each (class, copy) rides
+		// its own checksummed, coordinate-tagged frame, all records are
+		// padded to one fixed size (so frame k always occupies the bit
+		// window [k*fBits, (k+1)*fBits)), and the winner reassembles by
+		// chunk ARRIVAL ROUND into that absolute layout (ZeroExtend +
+		// OrRange). A dropped chunk therefore holes only the one or two
+		// frames it overlaps — every other frame still validates — and a
+		// chunk that arrives in the wrong round (delayed/duplicated) can
+		// only garble the windows it lands in, which their CRCs catch.
+		recBits := clsW + qW + 1 + sampleBits
+		fBits := routing.FrameBits(recBits)
+		nrec := (classes - cls) * (copies - from)
+		shipBits := nrec * fBits
+		b := p.Bandwidth()
+		rounds := core.ChunkRounds(shipBits, b)
+		var chunks []*bits.Buffer
+		if iAmLoser {
+			buf := bits.New(shipBits)
+			for q := from; q < copies; q++ {
+				for w := cls; w < classes; w++ {
+					rec := encodeShipRecord(stacks, poisoned, w, q, clsW, qW, recBits)
+					rec.ZeroExtend(recBits) // poison markers padded to the fixed record size
+					fr, err := routing.EncodeFrame(rec)
+					if err != nil {
+						return err
+					}
+					buf.Append(fr)
+				}
+			}
+			chunks = buf.Chunks(b)
+		}
+		acc := make(map[int]*bits.Buffer, len(myLosers))
+		for _, l := range myLosers {
+			a := bits.New(shipBits)
+			a.ZeroExtend(shipBits)
+			acc[l] = a
+		}
+		for r := 0; r < rounds; r++ {
+			if iAmLoser && r < len(chunks) {
+				if err := p.Send(comp[me], chunks[r]); err != nil {
+					return err
+				}
+				chunks[r].Release()
+			}
+			in := p.Next()
+			for _, l := range myLosers {
+				if msg := in[l]; msg != nil && r*b+msg.Len() <= shipBits {
+					if err := acc[l].OrRange(msg, 0, msg.Len(), r*b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, l := range myLosers {
+			k := 0
+			for q := from; q < copies; q++ {
+				for w := cls; w < classes; w++ {
+					fr, err := acc[l].Slice(k*fBits, (k+1)*fBits)
+					k++
+					ok := false
+					if err == nil {
+						if rec, derr := routing.DecodeFrame(fr); derr == nil {
+							ok = mergeShipRecordAt(rec, stacks, poisoned, w, q, clsW, qW)
+						}
+					}
+					if !ok {
+						// Lost or invalid: this copy is missing l's
+						// contribution and can't be trusted.
+						poisoned[w][q] = true
+					}
+				}
+			}
+		}
+		return nil
+
+	case LenzenFramedAgg:
+		// LenzenAgg's routed concentration with the same frame-and-poison
+		// record discipline; lost or invalid routed records poison their
+		// copy instead of failing the count check. Each framed record
+		// carries the loser's id under the CRC: the router's relay headers
+		// travel outside the frame, so a corrupted phase-2 src header could
+		// otherwise hand a VALID frame to the winner under another loser's
+		// name and silently misattribute its sampler bits.
+		srcW := bits.UintWidth(uint64(p.N() - 1))
+		recBits := clsW + qW + 1 + sampleBits
+		maxPayload := routing.FrameBits(srcW + recBits)
+		var out []routing.Msg
+		if iAmLoser {
+			for q := from; q < copies; q++ {
+				for w := cls; w < classes; w++ {
+					tagged := bits.New(srcW + recBits)
+					tagged.WriteUint(uint64(me), srcW)
+					tagged.Append(encodeShipRecord(stacks, poisoned, w, q, clsW, qW, recBits))
+					fr, err := routing.EncodeFrame(tagged)
+					if err != nil {
+						return err
+					}
+					out = append(out, routing.Msg{Src: me, Dst: comp[me], Payload: fr})
+				}
+			}
+		}
+		in, err := rt.Route(p, out, maxPayload)
+		if err != nil {
+			return err
+		}
+		seenBy := make(map[int][][]bool, len(myLosers))
+		for _, l := range myLosers {
+			seenBy[l] = newSeen(classes-cls, copies-from)
+		}
+		for _, m := range in {
+			seen := seenBy[m.Src]
+			if seen == nil {
+				continue // not one of my losers (or a misrouted stray)
+			}
+			pl, err := routing.DecodeFrame(m.Payload)
+			if err != nil {
+				continue // corrupted in transit; absence poisons below
+			}
+			rd := bits.NewReader(pl)
+			src64, err := rd.ReadUint(srcW)
+			if err != nil || int(src64) != m.Src {
+				continue // relay header lied about the source; treat as stray
+			}
+			rec, err := pl.Slice(srcW, pl.Len())
+			if err != nil {
+				continue
+			}
+			mergeShipRecord(rec, stacks, poisoned, cls, from, clsW, qW, seen)
+		}
+		for _, l := range myLosers {
+			seen := seenBy[l]
+			for w := cls; w < classes; w++ {
+				for q := from; q < copies; q++ {
+					if !seen[w-cls][q-from] {
+						poisoned[w][q] = true
+					}
+				}
+			}
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("sketch: unknown aggregation %d", int(agg))
 	}
+}
+
+// newSeen allocates a [classes][copies] seen-matrix for ship bookkeeping.
+func newSeen(classes, copies int) [][]bool {
+	seen := make([][]bool, classes)
+	for i := range seen {
+		seen[i] = make([]bool, copies)
+	}
+	return seen
+}
+
+// encodeShipRecord builds one framed-aggregation record:
+// [class:clsW][copy:qW][poisoned:1] + the sampler bits when clean. A
+// loser that no longer trusts a copy forwards the poison instead of the
+// garbage.
+func encodeShipRecord(stacks []*Stack, poisoned [][]bool, w, q, clsW, qW, recBits int) *bits.Buffer {
+	rec := bits.New(recBits)
+	rec.WriteUint(uint64(w), clsW)
+	rec.WriteUint(uint64(q), qW)
+	if poisoned[w][q] {
+		rec.WriteBool(true)
+	} else {
+		rec.WriteBool(false)
+		stacks[w].Samplers[q].Encode(rec)
+	}
+	return rec
+}
+
+// mergeShipRecord applies one CRC-validated ship record on the winner:
+// a clean record XOR-merges into the stack, a poison marker propagates
+// the loser's poison, and a record that is out of range, duplicated, or
+// fails to parse is dropped (its absence from `seen` poisons the copy
+// afterwards). A record whose sampler merge fails midway poisons the
+// copy directly — the partial XOR already garbled it.
+func mergeShipRecord(rec *bits.Buffer, stacks []*Stack, poisoned [][]bool, cls, from, clsW, qW int, seen [][]bool) (int, int, bool) {
+	classes := len(stacks)
+	copies := len(stacks[0].Samplers)
+	rd := bits.NewReader(rec)
+	w64, err := rd.ReadUint(clsW)
+	if err != nil {
+		return 0, 0, false
+	}
+	q64, err := rd.ReadUint(qW)
+	if err != nil {
+		return 0, 0, false
+	}
+	pois, err := rd.ReadBool()
+	if err != nil {
+		return 0, 0, false
+	}
+	w, q := int(w64), int(q64)
+	if w < cls || w >= classes || q < from || q >= copies || seen[w-cls][q-from] {
+		return 0, 0, false
+	}
+	seen[w-cls][q-from] = true
+	if pois {
+		poisoned[w][q] = true
+		return w, q, true
+	}
+	if err := stacks[w].Samplers[q].mergeFromWire(rd); err != nil {
+		poisoned[w][q] = true
+	}
+	return w, q, true
+}
+
+// mergeShipRecordAt applies one CRC-validated ship record whose stream
+// position already determines which (class, copy) it must carry — the
+// fixed-size-record layout of DirectFramedAgg. The embedded coordinate
+// tags are cross-checked against that expectation (a delayed chunk that
+// happens to re-validate an old frame in the wrong window fails here),
+// and a sampler whose merge fails midway poisons the copy directly.
+// Returns whether the record was applied.
+func mergeShipRecordAt(rec *bits.Buffer, stacks []*Stack, poisoned [][]bool, wantW, wantQ, clsW, qW int) bool {
+	rd := bits.NewReader(rec)
+	w64, err := rd.ReadUint(clsW)
+	if err != nil {
+		return false
+	}
+	q64, err := rd.ReadUint(qW)
+	if err != nil {
+		return false
+	}
+	pois, err := rd.ReadBool()
+	if err != nil {
+		return false
+	}
+	if int(w64) != wantW || int(q64) != wantQ {
+		return false
+	}
+	if pois {
+		poisoned[wantW][wantQ] = true
+		return true
+	}
+	if err := stacks[wantW].Samplers[wantQ].mergeFromWire(rd); err != nil {
+		poisoned[wantW][wantQ] = true
+	}
+	return true
 }
 
 // ccDigest folds the shared protocol state into one word so that every

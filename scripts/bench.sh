@@ -4,7 +4,8 @@
 # stats and emit BENCH_<date>.json next to the repo root, then fold in
 # the full E15 naive-vs-cube MM record at n=64 ("e15_semiring_mm"), the
 # full E16 sketch-vs-broadcast connectivity record at n=256
-# ("e16_sketch_connectivity") and
+# ("e16_sketch_connectivity"), the E17 fault-recovery records at n=64
+# ("e17_fault_recovery") and
 # the quick scenario matrix summary ("scenario_matrix"; full cell
 # records land in SCENARIOS_<date>.json; schema in DESIGN.md §8).
 # Compare files across PRs to see the trend (ns/op and allocs/op per
@@ -17,6 +18,7 @@
 #   SCENARIOS=0 scripts/bench.sh # skip the scenario matrix
 #   E15=0 scripts/bench.sh       # skip the full E15 MM ablation
 #   E16=0 scripts/bench.sh       # skip the full E16 sketch ablation
+#   E17=0 scripts/bench.sh       # skip the E17 fault-recovery records
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -90,6 +92,25 @@ if [[ "${E16:-1}" == "1" ]]; then
     append_record "{\"date\": \"${date}\", \"name\": \"e16_sketch_connectivity\", ${fields}}"
     echo "folded E16 n=256 record into $out"
   fi
+fi
+
+# Run the full E17 fault-injection experiment and fold its n=64
+# recovery records into the bench file: one record per drop rate, with
+# the framed-stack phases/rounds/bits against the clean run and the
+# bit overhead where recovery engages (outcome=ok) — so hardening cost
+# is tracked over time alongside raw performance. String-valued fields
+# (model, outcome) are quoted; numbers pass through bare.
+if [[ "${E17:-1}" == "1" ]]; then
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    fields="$(sed 's/^E17RECORD //' <<< "$line" \
+      | tr ' ' '\n' | awk -F= '{
+          if ($2 ~ /^-?[0-9]+(\.[0-9]+)?$/) printf "\"%s\": %s, ", $1, $2
+          else printf "\"%s\": \"%s\", ", $1, $2
+        }' | sed 's/, $//')"
+    append_record "{\"date\": \"${date}\", \"name\": \"e17_fault_recovery\", ${fields}}"
+  done <<< "$(go run ./cmd/cliquebench -exp E17 | grep '^E17RECORD n=64 ')"
+  echo "folded E17 n=64 records into $out"
 fi
 
 # Run the quick scenario matrix and append its summary counts to the
