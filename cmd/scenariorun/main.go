@@ -11,7 +11,8 @@
 //	scenariorun -engines par4-batch-b64
 //	scenariorun -seed 7 -shards 4 -out /tmp/scen.json
 //	scenariorun -quick -faults drop=0.02,corrupt=0.01
-//	scenariorun -timeout 30s -retries 2 -ledger run.jsonl
+//	scenariorun -timeout 30s -retries 2 -retry-backoff 250ms -ledger run.jsonl
+//	scenariorun -quick -submit http://127.0.0.1:8437   # run on a scenariod fleet
 //
 // Exit codes (DESIGN.md §8): 0 every cell ok; 1 any divergence
 // (including a silent corruption under faults); 2 usage error; 3 only
@@ -25,9 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/scenario"
+	"repro/internal/scenariod"
 )
 
 func main() {
@@ -44,7 +49,11 @@ func main() {
 		faults    = flag.String("faults", "", `fault spec for the engine legs, e.g. "drop=0.02,corrupt=0.01" (keys: drop corrupt delay dup crash maxdelay crashby)`)
 		timeout   = flag.Duration("timeout", 0, "per-leg deadline (0 = none); timed-out cells are classified infra")
 		retries   = flag.Int("retries", 0, "quarantine retries for infra-failed legs (panic, timeout)")
+		rbackoff  = flag.Duration("retry-backoff", 0, "base pause before each quarantine retry, capped exponential with jitter (0 = immediate)")
+		rbackcap  = flag.Duration("retry-backoff-cap", 0, "quarantine retry backoff cap (0 = 32x base)")
 		ledger    = flag.String("ledger", "", "append-only resume ledger path; re-running with the same matrix and flags skips recorded cells")
+		sizes     = flag.String("sizes", "", "comma-separated size override, e.g. 10,16 (default: matrix sizes)")
+		submit    = flag.String("submit", "", "scenariod base URL: submit the matrix to a worker fleet instead of running locally (shards/timeout/retries/ledger then apply server- and worker-side)")
 	)
 	flag.Parse()
 
@@ -52,6 +61,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
 		os.Exit(2)
+	}
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *submit != "" {
+		os.Exit(submitRun(*submit, scenariod.RunSpec{
+			Quick:     *quick,
+			BaseSeed:  *seed,
+			Families:  *families,
+			Protocols: *protocols,
+			Engines:   *engines,
+			Sizes:     sizeList,
+			Faults:    *faults,
+		}, *out, *verbose))
 	}
 
 	m := scenario.DefaultMatrix(*quick, *seed)
@@ -73,13 +99,18 @@ func main() {
 		m.WriteList(os.Stdout)
 		return
 	}
+	if len(sizeList) > 0 {
+		m.Sizes = sizeList
+	}
 
 	rep, err := scenario.RunMatrixOpts(m, scenario.RunOptions{
-		Shards:  *shards,
-		Timeout: *timeout,
-		Retries: *retries,
-		Faults:  spec,
-		Ledger:  *ledger,
+		Shards:          *shards,
+		Timeout:         *timeout,
+		Retries:         *retries,
+		RetryBackoff:    *rbackoff,
+		RetryBackoffCap: *rbackcap,
+		Faults:          spec,
+		Ledger:          *ledger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
@@ -101,4 +132,73 @@ func main() {
 	fmt.Printf("  oracle=%.1fms engine=%.1fms wall=%.1fms\n",
 		float64(s.OracleNs)/1e6, float64(s.EngineNs)/1e6, float64(s.WallNs)/1e6)
 	os.Exit(rep.WriteAndReport(*out, os.Stdout, os.Stderr))
+}
+
+// parseSizes parses the -sizes override.
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// submitRun executes the matrix on a scenariod fleet: submit the spec,
+// stream per-cell results as workers land them, fetch the completed
+// run's canonical report, and write it with the usual exit-code
+// discipline. The streamed cells arrive in completion order (the
+// report stays in matrix order); a 503 means the server shed the run.
+func submitRun(base string, spec scenariod.RunSpec, out string, verbose bool) int {
+	if _, err := spec.Matrix(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+		return 2
+	}
+	client := scenariod.NewClient(base)
+	sub, err := client.Submit(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: submit: %v\n", err)
+		return 4
+	}
+	fmt.Printf("submitted run %s: %d cells to %s\n", sub.RunID, sub.Cells, base)
+	done := 0
+	err = client.Stream(sub.RunID, func(ev scenariod.StreamEvent) error {
+		if ev.Type != scenariod.EventCell {
+			return nil
+		}
+		done++
+		c := ev.Cell
+		if verbose || c.Outcome != scenario.OutcomeOK {
+			detail := c.Divergence
+			if detail == "" {
+				detail = c.Error
+			}
+			fmt.Printf("[%d/%d] %-10s n=%-3d %-14s %-12s %-8s %s\n",
+				done, sub.Cells, c.Family, c.N, c.Engine, c.Protocol, c.Outcome, detail)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: stream: %v\n", err)
+		return 4
+	}
+	rep, err := client.Report(sub.RunID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariorun: report: %v\n", err)
+		return 4
+	}
+	// The server's report is canonical (no date, no timings); stamp the
+	// fetch date so the default SCENARIOS_<date>.json filename works.
+	rep.Date = time.Now().Format("20060102")
+	return rep.WriteAndReport(out, os.Stdout, os.Stderr)
 }

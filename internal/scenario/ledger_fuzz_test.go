@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// genuineLedger writes a fully deterministic ledger — fixed matrix,
+// synthesized cell results, no wall-clock anywhere — and returns its
+// bytes, its binding, and the exact entries it records. Determinism
+// matters: fuzz workers run in separate processes but share one corpus,
+// so the ground truth must be bit-identical in every process.
+func genuineLedger(tb testing.TB) ([]byte, LedgerInfo, map[string]CellResult) {
+	tb.Helper()
+	m := DefaultMatrix(true, 1)
+	m.Sizes = []int{10}
+	if err := m.FilterFamilies("gnp"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.FilterProtocols("triangle,connectivity"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.FilterEngines("par4"); err != nil {
+		tb.Fatal(err)
+	}
+	cells := m.Expand()
+	info := LedgerInfo{BaseSeed: m.BaseSeed, Faults: "none", Cells: len(cells)}
+	path := filepath.Join(tb.TempDir(), "genuine.jsonl")
+	led, _, _, err := OpenLedger(path, info)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	genuine := map[string]CellResult{}
+	for i, c := range cells {
+		cr := CellResult{
+			Family: c.Family.Name, N: c.N, Engine: c.Engine.Name, Protocol: c.Protocol.Name,
+			Seed: c.Seed, GraphEdges: 7 + i, Rounds: 1 + i, Steps: 2 + i,
+			TotalBits: int64(100 * (i + 1)), MaxLinkBits: 10, MaxNodeBits: 10,
+			Output: fmt.Sprintf("out-%d", i), OracleNs: int64(1000 + i), EngineNs: int64(2000 + i),
+			Outcome: OutcomeOK,
+		}
+		if err := led.AppendCell(c.Key(), cr); err != nil {
+			tb.Fatal(err)
+		}
+		genuine[c.Key()] = cr
+	}
+	if err := led.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data, info, genuine
+}
+
+// FuzzLedgerResume is the resume-integrity contract under arbitrary
+// ledger damage: however the bytes are corrupted — bit flips, torn
+// lines, spliced records, injected garbage — opening the ledger either
+// refuses outright or resumes to a subset of the exact genuine entries.
+// It must never hand back a cell result that differs from what a real
+// run recorded (that would let disk corruption masquerade as a
+// completed, passing cell).
+func FuzzLedgerResume(f *testing.F) {
+	data, info, genuine := genuineLedger(f)
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:len(data)-3])
+	f.Add([]byte(""))
+	f.Add([]byte("{\"schema\":\"scenario-ledger/v2\"}\n"))
+	f.Add([]byte("not a ledger at all"))
+	for _, i := range []int{len(data) / 4, len(data) / 2, 3 * len(data) / 4} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, fuzzed []byte) {
+		path := filepath.Join(t.TempDir(), "fuzzed.jsonl")
+		if err := os.WriteFile(path, fuzzed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		led, prior, _, err := OpenLedger(path, info)
+		if err != nil {
+			return // refusing to resume is always safe
+		}
+		led.Close()
+		for key, got := range prior {
+			want, ok := genuine[key]
+			if !ok {
+				t.Fatalf("resumed a cell the genuine run never recorded: %q -> %+v", key, got)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("resumed a corrupted cell %q:\n got %+v\nwant %+v", key, got, want)
+			}
+		}
+	})
+}

@@ -22,6 +22,18 @@ type RunOptions struct {
 	// re-run in quarantine — sequentially, outside the parallel wave —
 	// before the cell is recorded as infra.
 	Retries int
+	// RetryBackoff is the base pause before each quarantine retry:
+	// attempt a sleeps Backoff(RetryBackoff, RetryBackoffCap, a, cell
+	// seed, cell key) — capped exponential with deterministic jitter —
+	// so retries of a transiently overloaded box spread out instead of
+	// hammering it immediately. 0 keeps the historical immediate retry.
+	RetryBackoff time.Duration
+	// RetryBackoffCap clamps the retry backoff; 0 = 32·RetryBackoff.
+	RetryBackoffCap time.Duration
+	// Sleep is the pause hook used by the retry backoff; nil =
+	// time.Sleep. Tests inject a recorder so backoff schedules are
+	// asserted without real sleeps.
+	Sleep func(time.Duration)
 	// Faults is the adversary. When active, every cell runs with
 	// Leg.Faulty set on both legs (hardened protocol variants,
 	// fault-stable outputs) and the plan is installed as the core
@@ -104,7 +116,7 @@ func RunMatrixOpts(m *Matrix, opt RunOptions) (*Report, error) {
 		for _, i := range idx {
 			results[i] = classify(cells[i], oracle[i], engine[i], faulty)
 			if led != nil {
-				if err := led.append(cellKey(cells[i]), results[i]); err != nil {
+				if err := led.AppendCell(cellKey(cells[i]), results[i]); err != nil {
 					return nil, err
 				}
 			}
@@ -140,10 +152,17 @@ func runWave(shards int, idx []int, opt RunOptions, cells []Cell, oracleLeg, fau
 	core.ParallelFor(shards, len(idx), func(k int) {
 		out[idx[k]] = runLegGuarded(cells[idx[k]], oracleLeg, faulty, opt.Timeout)
 	})
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	for attempt := 1; attempt <= opt.Retries; attempt++ {
 		for _, i := range idx {
 			if !out[i].infra {
 				continue
+			}
+			if d := Backoff(opt.RetryBackoff, opt.RetryBackoffCap, attempt, cells[i].Seed, cellKey(cells[i])); d > 0 {
+				sleep(d)
 			}
 			r := runLegGuarded(cells[i], oracleLeg, faulty, opt.Timeout)
 			r.attempts = attempt + 1

@@ -278,6 +278,42 @@ func summarize(rep *Report, m *Matrix) Summary {
 	return s
 }
 
+// BuildReport assembles a Report from externally executed cell results
+// — the scenariod service path, where workers run cells one at a time
+// and the server collects them in matrix-expansion order. faults is the
+// run's fault spec ("", "none" or a Spec string; recorded when active).
+func BuildReport(m *Matrix, cells []CellResult, faults string) *Report {
+	rep := &Report{
+		Schema:   ReportSchema,
+		Date:     time.Now().Format("20060102"),
+		BaseSeed: m.BaseSeed,
+		Cells:    cells,
+	}
+	if faults != "" && faults != "none" {
+		rep.Faults = faults
+	}
+	rep.Summary = summarize(rep, m)
+	return rep
+}
+
+// Canonicalize zeroes every nondeterministic field of the report —
+// date, shard count, wall and per-leg timings — so two complete runs of
+// the same matrix marshal to byte-identical JSON. This is the report
+// form scenariod serves: it is what lets the chaos harness assert that
+// a run surviving a SIGKILL'd worker ends byte-for-byte equal to an
+// uninterrupted one.
+func (rep *Report) Canonicalize() {
+	rep.Date = ""
+	rep.Shards = 0
+	rep.Summary.WallNs = 0
+	rep.Summary.OracleNs = 0
+	rep.Summary.EngineNs = 0
+	for i := range rep.Cells {
+		rep.Cells[i].OracleNs = 0
+		rep.Cells[i].EngineNs = 0
+	}
+}
+
 // ExitCode maps the run to the scenariorun process exit code documented
 // in DESIGN.md §8: 0 all ok, 1 any divergence (including silent
 // corruption under faults), 3 detected faults only, 4 infrastructure

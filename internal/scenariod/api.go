@@ -1,0 +1,145 @@
+package scenariod
+
+import (
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// RunSpec is a submitted matrix: the declarative slice of the standing
+// scenario sweep a client wants executed. It is recorded verbatim in
+// the run ledger (RecSpec) so a restarted server rebuilds exactly the
+// matrix it was serving.
+type RunSpec struct {
+	Quick     bool   `json:"quick"`
+	BaseSeed  int64  `json:"base_seed"`
+	Families  string `json:"families,omitempty"`  // comma-separated subset; "" = all
+	Protocols string `json:"protocols,omitempty"` // comma-separated subset; "" = all
+	Engines   string `json:"engines,omitempty"`   // comma-separated subset; "" = all
+	Sizes     []int  `json:"sizes,omitempty"`     // override sizes; nil = matrix default
+	Faults    string `json:"faults,omitempty"`    // fault.ParseSpec syntax; "" = clean
+}
+
+// Matrix expands the spec against the standing matrix definitions.
+func (sp RunSpec) Matrix() (*scenario.Matrix, error) {
+	if _, err := fault.ParseSpec(sp.Faults); err != nil {
+		return nil, err
+	}
+	m := scenario.DefaultMatrix(sp.Quick, sp.BaseSeed)
+	if err := m.FilterFamilies(sp.Families); err != nil {
+		return nil, err
+	}
+	if err := m.FilterProtocols(sp.Protocols); err != nil {
+		return nil, err
+	}
+	if err := m.FilterEngines(sp.Engines); err != nil {
+		return nil, err
+	}
+	if len(sp.Sizes) > 0 {
+		m.Sizes = append([]int(nil), sp.Sizes...)
+	}
+	return m, nil
+}
+
+// FaultSpec parses the spec's fault string (validated by Matrix).
+func (sp RunSpec) FaultSpec() fault.Spec {
+	spec, _ := fault.ParseSpec(sp.Faults)
+	return spec
+}
+
+// SubmitResponse answers POST /v1/runs.
+type SubmitResponse struct {
+	RunID string `json:"run_id"`
+	Cells int    `json:"cells"`
+}
+
+// LeaseRequest asks for work on behalf of a worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease statuses.
+const (
+	LeaseJob   = "job"   // a job is granted
+	LeaseEmpty = "empty" // nothing leasable right now; poll again
+	LeaseDrain = "drain" // server is draining; workers should exit
+)
+
+// LeaseResponse answers POST /v1/lease.
+type LeaseResponse struct {
+	Status string    `json:"status"`
+	Job    *JobGrant `json:"job,omitempty"`
+}
+
+// JobGrant is a leased cell: the serialized coordinates a worker needs
+// to reconstruct and run it, plus the lease discipline.
+type JobGrant struct {
+	RunID    string `json:"run_id"`
+	Key      string `json:"key"`
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	Engine   string `json:"engine"`
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	Faults   string `json:"faults,omitempty"`
+
+	LeaseID     string `json:"lease_id"`
+	Attempt     int    `json:"attempt"`
+	LeaseTTLMs  int64  `json:"lease_ttl_ms"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	RunID   string `json:"run_id"`
+	Key     string `json:"key"`
+	LeaseID string `json:"lease_id"`
+}
+
+// ResultRequest submits a completed cell.
+type ResultRequest struct {
+	RunID   string              `json:"run_id"`
+	Key     string              `json:"key"`
+	LeaseID string              `json:"lease_id"`
+	Cell    scenario.CellResult `json:"cell"`
+}
+
+// ResultResponse answers POST /v1/result.
+type ResultResponse struct {
+	Recorded bool `json:"recorded"`
+}
+
+// RunStatus is one run's progress snapshot.
+type RunStatus struct {
+	RunID    string  `json:"run_id"`
+	Spec     RunSpec `json:"spec"`
+	Cells    int     `json:"cells"`
+	Pending  int     `json:"pending"`
+	Leased   int     `json:"leased"`
+	Done     int     `json:"done"`
+	Complete bool    `json:"complete"`
+}
+
+// StatusResponse answers GET /v1/status.
+type StatusResponse struct {
+	Draining bool        `json:"draining"`
+	Runs     []RunStatus `json:"runs"`
+}
+
+// Stream event types.
+const (
+	EventCell = "cell" // one completed cell
+	EventDone = "done" // the run is complete; Summary is attached
+)
+
+// StreamEvent is one line of GET /v1/runs/{id}/events: completed cells
+// in completion order, then a final done event carrying the summary.
+type StreamEvent struct {
+	Type    string               `json:"type"`
+	Cell    *scenario.CellResult `json:"cell,omitempty"`
+	Summary *scenario.Summary    `json:"summary,omitempty"`
+}
+
+// errorResponse is the JSON error envelope of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}

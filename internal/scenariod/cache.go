@@ -1,0 +1,155 @@
+package scenariod
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+// Cache is the content-addressed on-disk cache of the service: one file
+// per entry under dir, named by the SHA-256 of the entry's logical key.
+// Each file stores the key, the payload, and a SHA-256 of the payload
+// bytes; reads verify both — a hash mismatch, a key collision, or any
+// parse failure degrades to a cache miss and a recompute, never to a
+// wrong oracle. Writes go through a temp file + rename so concurrent
+// worker processes sharing a cache directory can never observe a torn
+// entry as anything but a miss.
+//
+// Two entry kinds exist: generated graphs, keyed (family, n, seed), and
+// oracle-leg outputs, keyed (family, n, seed, protocol, bandwidth,
+// faulty). The oracle leg is identical across engine configurations at
+// equal bandwidth and dominates large cells, which is what makes a warm
+// cache cut matrix wall time (the BENCH scenariod_cache record).
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenariod: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// cacheEntry is the on-disk envelope.
+type cacheEntry struct {
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"` // SHA-256 of Payload bytes
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (c *Cache) path(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(h[:])+".json")
+}
+
+// get loads and verifies an entry; any damage is a miss (and a
+// best-effort removal, so the slot heals on the next put).
+func (c *Cache) get(key string, out any) bool {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		os.Remove(path)
+		return false
+	}
+	sum := sha256.Sum256(e.Payload)
+	if e.Sum != hex.EncodeToString(sum[:]) {
+		os.Remove(path)
+		return false
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// put stores an entry atomically; errors are swallowed — the cache is
+// an accelerator, never a correctness dependency.
+func (c *Cache) put(key string, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(cacheEntry{Key: key, Sum: hex.EncodeToString(sum[:]), Payload: payload})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// oracleKey addresses an oracle-leg execution. The engine name is
+// deliberately absent: the oracle leg always runs the sequential scalar
+// engine and depends on the configuration only through bandwidth.
+func oracleKey(cell scenario.Cell, faulty bool) string {
+	return fmt.Sprintf("oracle/v1|%s|%d|%d|%s|b%d|faulty=%t",
+		cell.Family.Name, cell.N, cell.Seed, cell.Protocol.Name, cell.Engine.Bandwidth, faulty)
+}
+
+// GetOracle implements scenario.LegCache.
+func (c *Cache) GetOracle(cell scenario.Cell, faulty bool) (scenario.CachedLeg, bool) {
+	var leg scenario.CachedLeg
+	ok := c.get(oracleKey(cell, faulty), &leg)
+	return leg, ok
+}
+
+// PutOracle implements scenario.LegCache.
+func (c *Cache) PutOracle(cell scenario.Cell, faulty bool, leg scenario.CachedLeg) {
+	c.put(oracleKey(cell, faulty), leg)
+}
+
+// graphPayload is the serialized form of a generated instance.
+type graphPayload struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+func graphKey(family string, n int, seed int64) string {
+	return fmt.Sprintf("graph/v1|%s|%d|%d", family, n, seed)
+}
+
+// CachedGen wraps a family generator with the content-addressed graph
+// cache: a verified hit rebuilds the instance from the stored edge
+// list, a miss (including a corrupted entry) falls through to the real
+// generator and stores its output. Generators are deterministic in
+// (n, seed), so the rebuilt graph is the generated graph.
+func (c *Cache) CachedGen(family string, gen func(n int, seed int64) *graph.Graph) func(n int, seed int64) *graph.Graph {
+	return func(n int, seed int64) *graph.Graph {
+		key := graphKey(family, n, seed)
+		var p graphPayload
+		if c.get(key, &p) && p.N == n {
+			g := graph.New(p.N)
+			for _, e := range p.Edges {
+				g.AddEdge(e[0], e[1])
+			}
+			return g
+		}
+		g := gen(n, seed)
+		c.put(key, graphPayload{N: g.N(), Edges: g.Edges()})
+		return g
+	}
+}

@@ -1,0 +1,154 @@
+package scenariod
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+func testCell(t *testing.T) scenario.Cell {
+	t.Helper()
+	c, err := scenario.CellFromNames("gnp", 12, "par4", "triangle", 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// cacheFiles lists the entry files of a cache directory.
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestCacheOracleRoundtrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t)
+	if _, ok := c.GetOracle(cell, false); ok {
+		t.Fatal("hit on empty cache")
+	}
+	leg := scenario.CachedLeg{Output: "triangles=4", Edges: 31}
+	leg.Stats.Rounds = 3
+	c.PutOracle(cell, false, leg)
+	got, ok := c.GetOracle(cell, false)
+	if !ok || !reflect.DeepEqual(got, leg) {
+		t.Fatalf("roundtrip: ok=%v got=%+v want=%+v", ok, got, leg)
+	}
+	// The faulty variant is a distinct address.
+	if _, ok := c.GetOracle(cell, true); ok {
+		t.Fatal("clean entry answered the faulty key")
+	}
+	// A different engine at equal bandwidth shares the oracle entry.
+	other := cell
+	eng, _ := scenario.EngineByName("par4")
+	eng.Name, eng.Parallelism = "other-engine", 2
+	other.Engine = eng
+	if _, ok := c.GetOracle(other, false); !ok {
+		t.Fatal("equal-bandwidth engine missed the shared oracle entry")
+	}
+}
+
+// Any byte damage to an entry degrades to a miss — never a wrong leg —
+// and the slot heals on the next put.
+func TestCacheCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t)
+	c.PutOracle(cell, false, scenario.CachedLeg{Output: "x", Edges: 1})
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 entry file, got %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range [][]byte{
+		[]byte("not json at all"),
+		append([]byte{}, data[:len(data)/2]...), // torn write
+		func() []byte { d := append([]byte{}, data...); d[len(d)-10] ^= 0xff; return d }(), // flipped payload byte
+	} {
+		if err := os.WriteFile(files[0], mutate, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.GetOracle(cell, false); ok {
+			t.Fatalf("corrupted entry %q served as a hit", string(mutate[:min(20, len(mutate))]))
+		}
+		c.PutOracle(cell, false, scenario.CachedLeg{Output: "x", Edges: 1})
+		if got, ok := c.GetOracle(cell, false); !ok || got.Output != "x" {
+			t.Fatal("slot did not heal after re-put")
+		}
+	}
+}
+
+// CachedGen rebuilds the exact generated graph on a hit and falls back
+// to the real generator when the entry is damaged.
+func TestCachedGen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	real := func(n int, seed int64) *graph.Graph {
+		calls++
+		f, _ := scenario.FamilyByName("gnp")
+		return f.Gen(n, seed)
+	}
+	gen := c.CachedGen("gnp", real)
+
+	g1 := gen(16, 5)
+	g2 := gen(16, 5)
+	if calls != 1 {
+		t.Fatalf("generator ran %d times, want 1 (second call cached)", calls)
+	}
+	if !g1.Equal(g2) {
+		t.Fatal("cached graph differs from generated graph")
+	}
+	// Corrupt every entry: the wrapper must recompute, not fail.
+	for _, f := range cacheFiles(t, dir) {
+		if err := os.WriteFile(f, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g3 := gen(16, 5)
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2 (corruption recomputes)", calls)
+	}
+	if !g1.Equal(g3) {
+		t.Fatal("recomputed graph differs")
+	}
+}
+
+// RunCell with a warm cache produces the identical classification with
+// zero oracle wall time — the substance of the BENCH scenariod_cache claim.
+func TestRunCellCacheEquivalence(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t)
+	cold := scenario.RunCell(cell, scenario.CellOptions{Cache: c})
+	warm := scenario.RunCell(cell, scenario.CellOptions{Cache: c})
+	bare := scenario.RunCell(cell, scenario.CellOptions{})
+	for _, r := range []*scenario.CellResult{&cold, &warm, &bare} {
+		r.OracleNs, r.EngineNs = 0, 0
+	}
+	if cold != warm || cold != bare {
+		t.Fatalf("cache changed the result:\ncold=%+v\nwarm=%+v\nbare=%+v", cold, warm, bare)
+	}
+}

@@ -1,0 +1,85 @@
+package scenariod
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The crash-tolerance contract, in process: a worker that takes leases
+// and dies silently (the SIGKILL analogue — no result, no heartbeat,
+// no unlease) costs the run nothing but its leased cells. The server
+// requeues them at the sweep after the TTL, a healthy worker reruns
+// them, and the final report is byte-identical to an uninterrupted run
+// of the same spec. scripts/chaos_smoke.sh is the same scenario with a
+// real SIGKILL across processes.
+func TestChaosCrashedWorkerByteIdenticalReport(t *testing.T) {
+	spec := tinySpec()
+	clock := NewFakeClock(time.Unix(5000, 0))
+	cfg := Config{
+		Clock: clock,
+		Queue: QueueConfig{
+			LeaseTTL:    10 * time.Second,
+			MaxAttempts: 3,
+			BackoffBase: 50 * time.Millisecond,
+			BackoffCap:  time.Second,
+		},
+	}
+	s, client := startServer(t, cfg)
+	sub, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker leases a cell and is never heard from again.
+	lease, err := client.Lease("doomed")
+	if err != nil || lease.Status != LeaseJob {
+		t.Fatalf("doomed lease: %v %+v", err, lease)
+	}
+
+	// Its silence outlives the TTL; the sweep requeues the cell.
+	clock.Advance(cfg.Queue.LeaseTTL + time.Second)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("sweep finalized %d jobs, want 0 (requeue, not quarantine)", n)
+	}
+	// Open the backoff gate for the retry.
+	clock.Advance(cfg.Queue.BackoffCap)
+
+	// A healthy worker finishes the whole run, requeued cell included.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		w := &Worker{Client: client, Name: "healthy", PollEvery: 5 * time.Millisecond}
+		done <- w.Run(ctx)
+	}()
+	err = client.Stream(sub.RunID, func(StreamEvent) error { return nil })
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if err := client.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healthy worker: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy worker did not exit on drain")
+	}
+
+	rep, err := client.Report(sub.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := marshalReport(t, rep), directReport(t, spec)
+	if string(got) != string(want) {
+		t.Fatalf("chaos report differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	for _, cell := range rep.Cells {
+		if cell.Outcome != "ok" {
+			t.Fatalf("chaos run cell not ok: %+v", cell)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package scenariod
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so every lease-expiry, heartbeat-deadline,
+// and backoff-gate decision in the queue and server is testable without
+// real sleeps: unit tests drive a FakeClock forward and call Sweep
+// explicitly, while production uses the real clock plus a ticker.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake time forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

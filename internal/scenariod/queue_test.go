@@ -1,0 +1,269 @@
+package scenariod
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// testCells builds a handful of real matrix cells for queue tests.
+func testCells(t *testing.T, n int) []scenario.Cell {
+	t.Helper()
+	protocols := []string{"triangle", "connectivity", "apsp", "khop", "routing", "hdetect"}
+	cells := make([]scenario.Cell, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := scenario.CellFromNames("gnp", 10+i, "par4", protocols[i%len(protocols)], int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+func okResult(c scenario.Cell) scenario.CellResult {
+	return scenario.CellResult{
+		Family: c.Family.Name, N: c.N, Engine: c.Engine.Name, Protocol: c.Protocol.Name,
+		Seed: c.Seed, Outcome: scenario.OutcomeOK,
+	}
+}
+
+func infraResult(c scenario.Cell) scenario.CellResult {
+	r := okResult(c)
+	r.Outcome = scenario.OutcomeInfra
+	r.Error = "transient"
+	return r
+}
+
+// Leases are granted in matrix-expansion order and expose the
+// configured discipline.
+func TestQueueLeaseOrder(t *testing.T) {
+	cells := testCells(t, 3)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	q := NewQueue(cells, QueueConfig{}, clock)
+
+	for i := 0; i < 3; i++ {
+		j, ok := q.Lease("w1")
+		if !ok {
+			t.Fatalf("lease %d refused", i)
+		}
+		if j.Index != i || j.Key != cells[i].Key() {
+			t.Fatalf("lease %d: got index %d key %q", i, j.Index, j.Key)
+		}
+		if j.Attempts != 1 || j.State != JobLeased || j.Worker != "w1" {
+			t.Fatalf("lease %d: bad grant %+v", i, j)
+		}
+	}
+	if _, ok := q.Lease("w1"); ok {
+		t.Fatal("leased more jobs than cells")
+	}
+}
+
+// A lease without heartbeats expires at TTL: the job is requeued behind
+// a backoff gate, a fresh lease goes to the next worker, and the old
+// lease's heartbeat gets ErrLeaseLost.
+func TestQueueLeaseExpiryAndHeartbeatLoss(t *testing.T) {
+	cells := testCells(t, 1)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	cfg := QueueConfig{LeaseTTL: 10 * time.Second, MaxAttempts: 3, BackoffBase: time.Second, BackoffCap: 8 * time.Second}
+	q := NewQueue(cells, cfg, clock)
+
+	j1, ok := q.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	// Within TTL the heartbeat holds the lease.
+	clock.Advance(8 * time.Second)
+	if err := q.Heartbeat(j1.Key, j1.LeaseID); err != nil {
+		t.Fatalf("live heartbeat rejected: %v", err)
+	}
+	// The heartbeat pushed the deadline: 8s later the lease is still live.
+	clock.Advance(8 * time.Second)
+	if n := q.Sweep(); n != 0 {
+		t.Fatalf("sweep finalized %d jobs under a live lease", n)
+	}
+	if err := q.Heartbeat(j1.Key, j1.LeaseID); err != nil {
+		t.Fatalf("extended heartbeat rejected: %v", err)
+	}
+	// Silence past the TTL loses the lease.
+	clock.Advance(11 * time.Second)
+	q.Sweep()
+	if err := q.Heartbeat(j1.Key, j1.LeaseID); err != ErrLeaseLost {
+		t.Fatalf("stale heartbeat: got %v, want ErrLeaseLost", err)
+	}
+	// The requeued job sits behind its backoff gate, then re-leases with
+	// a fresh lease ID and a bumped attempt count.
+	if _, ok := q.Lease("w2"); ok {
+		t.Fatal("leased before the backoff gate opened")
+	}
+	clock.Advance(cfg.BackoffCap)
+	j2, ok := q.Lease("w2")
+	if !ok {
+		t.Fatal("no re-lease after backoff")
+	}
+	if j2.Attempts != 2 || j2.LeaseID == j1.LeaseID {
+		t.Fatalf("re-lease: attempts=%d lease=%q (old %q)", j2.Attempts, j2.LeaseID, j1.LeaseID)
+	}
+}
+
+// After MaxAttempts expired leases the job is quarantined as an infra
+// result — exactly once, through the completion callback.
+func TestQueueQuarantineAfterMaxAttempts(t *testing.T) {
+	cells := testCells(t, 1)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	cfg := QueueConfig{LeaseTTL: 5 * time.Second, MaxAttempts: 2, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond}
+	q := NewQueue(cells, cfg, clock)
+	var done []scenario.CellResult
+	q.SetOnDone(func(j *Job) { done = append(done, *j.Result) })
+
+	for attempt := 0; attempt < 2; attempt++ {
+		clock.Advance(time.Second) // past any backoff gate
+		if _, ok := q.Lease("doomed"); !ok {
+			t.Fatalf("attempt %d: no lease", attempt)
+		}
+		clock.Advance(6 * time.Second)
+		q.Sweep()
+	}
+	if !q.Done() {
+		t.Fatal("job not quarantined after MaxAttempts expiries")
+	}
+	if len(done) != 1 {
+		t.Fatalf("onDone fired %d times, want 1", len(done))
+	}
+	r := done[0]
+	if r.Outcome != scenario.OutcomeInfra || !strings.Contains(r.Error, "quarantined") || r.Attempts != 2 {
+		t.Fatalf("quarantine result: %+v", r)
+	}
+	results, ok := q.Results()
+	if !ok || len(results) != 1 || results[0].Error != r.Error {
+		t.Fatalf("Results after quarantine: ok=%v %+v", ok, results)
+	}
+}
+
+// An infra result below the cap requeues with backoff instead of
+// recording; at the cap it records as the final result.
+func TestQueueInfraRetryThenRecord(t *testing.T) {
+	cells := testCells(t, 1)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	cfg := QueueConfig{LeaseTTL: 5 * time.Second, MaxAttempts: 2, BackoffBase: time.Second, BackoffCap: 4 * time.Second}
+	q := NewQueue(cells, cfg, clock)
+
+	j1, _ := q.Lease("w1")
+	recorded, err := q.Complete(j1.Key, j1.LeaseID, infraResult(cells[0]))
+	if err != nil || recorded {
+		t.Fatalf("first infra: recorded=%v err=%v, want requeue", recorded, err)
+	}
+	clock.Advance(cfg.BackoffCap)
+	j2, ok := q.Lease("w1")
+	if !ok || j2.Attempts != 2 {
+		t.Fatalf("re-lease after infra: ok=%v attempts=%d", ok, j2.Attempts)
+	}
+	recorded, err = q.Complete(j2.Key, j2.LeaseID, infraResult(cells[0]))
+	if err != nil || !recorded {
+		t.Fatalf("infra at cap: recorded=%v err=%v, want recorded", recorded, err)
+	}
+	if !q.Done() {
+		t.Fatal("queue not done after final infra record")
+	}
+}
+
+// A slow worker racing its own expired lease still lands its result —
+// deterministic cells make the stale answer the right answer — and a
+// duplicate after completion is an idempotent no-op.
+func TestQueueStaleLeaseResultAccepted(t *testing.T) {
+	cells := testCells(t, 1)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	cfg := QueueConfig{LeaseTTL: 5 * time.Second, MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond}
+	q := NewQueue(cells, cfg, clock)
+	fired := 0
+	q.SetOnDone(func(*Job) { fired++ })
+
+	j1, _ := q.Lease("slow")
+	clock.Advance(6 * time.Second)
+	q.Sweep() // lease expires, job requeued
+	clock.Advance(time.Second)
+	j2, ok := q.Lease("fast")
+	if !ok {
+		t.Fatal("no second lease")
+	}
+	// The slow worker's result arrives under the superseded lease.
+	recorded, err := q.Complete(j1.Key, j1.LeaseID, okResult(cells[0]))
+	if err != nil || !recorded {
+		t.Fatalf("stale-lease result: recorded=%v err=%v", recorded, err)
+	}
+	// The fast worker's duplicate is a no-op.
+	recorded, err = q.Complete(j2.Key, j2.LeaseID, okResult(cells[0]))
+	if err != nil || recorded {
+		t.Fatalf("duplicate result: recorded=%v err=%v", recorded, err)
+	}
+	if fired != 1 {
+		t.Fatalf("onDone fired %d times, want 1", fired)
+	}
+}
+
+// Preload (the ledger-reload path) completes jobs without callbacks,
+// ignores unknown keys, and keeps Results in matrix order.
+func TestQueuePreload(t *testing.T) {
+	cells := testCells(t, 3)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	q := NewQueue(cells, QueueConfig{}, clock)
+	fired := 0
+	q.SetOnDone(func(*Job) { fired++ })
+
+	if q.Preload("not-a-key", okResult(cells[0])) {
+		t.Fatal("preload accepted an unknown key")
+	}
+	if !q.Preload(cells[2].Key(), okResult(cells[2])) || !q.Preload(cells[0].Key(), okResult(cells[0])) {
+		t.Fatal("preload rejected known keys")
+	}
+	if fired != 0 {
+		t.Fatal("preload fired onDone")
+	}
+	j, ok := q.Lease("w1")
+	if !ok || j.Index != 1 {
+		t.Fatalf("lease after preload: ok=%v index=%d, want the one unfinished job", ok, j.Index)
+	}
+	if _, err := q.Complete(j.Key, j.LeaseID, okResult(cells[1])); err != nil {
+		t.Fatal(err)
+	}
+	results, ok := q.Results()
+	if !ok || len(results) != 3 {
+		t.Fatalf("results: ok=%v len=%d", ok, len(results))
+	}
+	for i, r := range results {
+		if r.Protocol != cells[i].Protocol.Name || r.N != cells[i].N {
+			t.Fatalf("results[%d] out of matrix order: %+v", i, r)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("onDone fired %d times, want 1 (the leased job only)", fired)
+	}
+}
+
+// Backoff gates follow the capped-exponential schedule: later attempts
+// wait longer (pre-cap) and never exceed the cap.
+func TestQueueBackoffSchedule(t *testing.T) {
+	cells := testCells(t, 1)
+	key := cells[0].Key()
+	base, cap := time.Second, 8*time.Second
+	var prev time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := scenario.Backoff(base, cap, attempt, 42, key)
+		lo := base / 2 << (attempt - 1)
+		if lo > cap/2 {
+			lo = cap / 2
+		}
+		if d < lo || d > cap {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, cap)
+		}
+		if attempt <= 3 && d <= prev/2 {
+			t.Fatalf("attempt %d: backoff %v did not grow from %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	if d := scenario.Backoff(0, cap, 3, 42, key); d != 0 {
+		t.Fatalf("zero base: got %v, want 0", d)
+	}
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Chaos smoke: the scenariod crash-tolerance contract across real
+# processes. Two service runs of the same spec — one uninterrupted, one
+# with a worker SIGKILLed while it holds a lease (no cleanup, no
+# unlease, the hard-crash case) and a replacement started afterwards —
+# must produce byte-identical reports: a crashed worker costs only its
+# leased cells, which the server requeues after the lease TTL.
+# The in-process twin (fake clock, no sleeps) is
+# internal/scenariod/chaos_test.go; CI runs both.
+#
+#   scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+  ((${#pids[@]})) && kill "${pids[@]}" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/scenariod" ./cmd/scenariod
+go build -o "$tmp/scenariorun" ./cmd/scenariorun
+
+# ~8 medium cells (apsp dominates): slow enough that the kill lands
+# mid-run, fast enough for a smoke.
+spec=(-quick -seed 7 -families gnp,components -protocols apsp,connectivity -engines par4 -sizes 36,48)
+
+url=""
+start_server() { # $1: label
+  local log="$tmp/serve-$1.log"
+  "$tmp/scenariod" serve -addr 127.0.0.1:0 -ledger-dir "$tmp/led-$1" \
+    -lease-ttl 2s -sweep-every 100ms -backoff 100ms -backoff-cap 500ms >"$log" 2>&1 &
+  pids+=($!)
+  url=""
+  for _ in $(seq 1 100); do
+    url="$(grep -o 'http://[0-9.:]*' "$log" | head -1 || true)"
+    [[ -n "$url" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$url" ]] || { echo "chaos smoke: server '$1' never came up"; cat "$log"; exit 1; }
+}
+
+start_worker() { # $1: run label, $2: worker name
+  "$tmp/scenariod" worker -server "$url" -name "$2" -cache "$tmp/cache-$1" \
+    -poll 20ms >"$tmp/worker-$1-$2.log" 2>&1 &
+  pids+=($!)
+}
+
+# --- Run A: uninterrupted baseline through the service. ---
+start_server baseline
+start_worker baseline w1
+"$tmp/scenariorun" "${spec[@]}" -submit "$url" -out "$tmp/report-baseline.json" \
+  >"$tmp/submit-baseline.log" 2>&1
+
+# --- Run B: same spec; SIGKILL the only worker while it holds a lease. ---
+start_server chaos
+start_worker chaos doomed
+doomed=${pids[-1]}
+disown "$doomed" 2>/dev/null || true # silence bash's "Killed" job notice
+"$tmp/scenariorun" "${spec[@]}" -submit "$url" -out "$tmp/report-chaos.json" \
+  >"$tmp/submit-chaos.log" 2>&1 &
+submit=$!
+pids+=($submit)
+
+leased=0
+for _ in $(seq 1 200); do
+  leased="$(curl -s "$url/v1/status" | grep -o '"leased": *[0-9]*' | grep -o '[0-9]*$' | head -1 || true)"
+  [[ "${leased:-0}" -ge 1 ]] && break
+  sleep 0.02
+done
+kill -9 "$doomed" 2>/dev/null || true
+echo "chaos smoke: SIGKILLed worker 'doomed' (leased=${leased:-0})"
+start_worker chaos healthy
+
+wait "$submit" || { echo "chaos smoke: chaos run failed"; cat "$tmp/submit-chaos.log"; exit 1; }
+
+if ! cmp "$tmp/report-baseline.json" "$tmp/report-chaos.json"; then
+  echo "chaos smoke: FAIL — report after SIGKILL differs from uninterrupted run"
+  diff "$tmp/report-baseline.json" "$tmp/report-chaos.json" | head -40 || true
+  exit 1
+fi
+echo "chaos smoke: ok — report byte-identical after worker SIGKILL"
