@@ -1,0 +1,77 @@
+package bits
+
+// Arena is a single-owner free list of message buffers, the allocation
+// substrate of the round engine's per-node scratch reuse (DESIGN.md §13).
+// A buffer drawn from an arena is tagged with it for life; Freeze seals
+// such a buffer in place — no copy-on-write view is allocated, because
+// the arena contract is stage-once: the producer fills the buffer, stages
+// it, and never writes it again (writes after sealing panic). Once the
+// engine knows every recipient is done with the message it calls Recycle,
+// which un-seals the buffer and returns struct and storage to the arena,
+// so steady-state message traffic allocates nothing.
+//
+// An Arena is NOT safe for concurrent use. The engine gives each node its
+// own arena: Get runs inside the node's (possibly concurrent) Step, while
+// Recycle runs in the sequential delivery pass — phases that never
+// overlap and are ordered by the worker pool's synchronization.
+type Arena struct {
+	free []*Buffer
+}
+
+// Get returns an empty writable buffer owned by the arena with capacity
+// for sizeHint bits, reusing recycled storage when any is available.
+func (a *Arena) Get(sizeHint int) *Buffer {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		if cap(b.data) < (sizeHint+7)/8 {
+			b.data = make([]byte, 0, (sizeHint+7)/8)
+		}
+		return b
+	}
+	b := New(sizeHint)
+	b.arena = a
+	return b
+}
+
+// FromArena reports whether b was drawn from an arena (and is therefore
+// sealed in place by Freeze and recyclable by the engine).
+func (b *Buffer) FromArena() bool { return b.arena != nil }
+
+// MarkReclaim marks an arena buffer as queued for recycling and reports
+// whether the caller now owns that duty. It returns false for non-arena
+// buffers and for buffers already marked — the engine's delivery pass
+// uses it to build a duplicate-free reclaim list even though a broadcast
+// stages the same buffer once per recipient. Not safe for concurrent use;
+// the engine calls it only from the sequential delivery pass.
+func (b *Buffer) MarkReclaim() bool {
+	if b.arena == nil || b.queued {
+		return false
+	}
+	b.queued = true
+	return true
+}
+
+// Recycle un-seals an arena buffer and returns it to its arena for
+// reuse. The caller promises that no recipient will touch the buffer
+// again — the round engine calls it one full round after delivery, when
+// every inbox slot holding the message has been cleared. Recycle of a
+// non-arena buffer is a no-op.
+func (b *Buffer) Recycle() {
+	if b.arena == nil {
+		return
+	}
+	b.queued = false
+	b.frozen = false
+	if b.cow {
+		// Storage escaped into an ordinary frozen view (possible only if
+		// the buffer was frozen before the arena contract applied);
+		// abandon it to the view and recycle just the struct.
+		b.data = nil
+		b.cow = false
+	}
+	b.data = b.data[:0]
+	b.n = 0
+	b.arena.free = append(b.arena.free, b)
+}

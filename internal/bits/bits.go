@@ -14,6 +14,7 @@ package bits
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,9 +31,11 @@ var ErrShortBuffer = errors.New("bits: read past end of buffer")
 // fast paths in Append, WriteUint and Equal.
 type Buffer struct {
 	data   []byte
-	n      int  // number of valid bits in data
-	frozen bool // immutable view produced by Freeze; writers panic
-	cow    bool // storage is shared with a frozen view; copy before write
+	n      int    // number of valid bits in data
+	frozen bool   // immutable view produced by Freeze; writers panic
+	cow    bool   // storage is shared with a frozen view; copy before write
+	arena  *Arena // owning arena (nil for ordinary buffers); see arena.go
+	queued bool   // arena buffer already on an engine reclaim list
 }
 
 // New returns an empty buffer with capacity for sizeHint bits.
@@ -81,8 +84,17 @@ func (b *Buffer) Clone() *Buffer {
 //
 // This is the engine's zero-copy delivery primitive: one frozen view of a
 // staged message is shared by every recipient.
+//
+// Arena buffers (Arena.Get) are sealed in place instead: Freeze returns b
+// itself marked immutable, allocating nothing. The arena contract is
+// stage-once — the producer must not write the buffer after staging, and
+// sealing turns any such write into a panic rather than a corruption.
 func (b *Buffer) Freeze() *Buffer {
 	if b.frozen {
+		return b
+	}
+	if b.arena != nil {
+		b.frozen = true
 		return b
 	}
 	b.cow = true
@@ -199,7 +211,7 @@ func (b *Buffer) WriteBool(v bool) {
 	}
 }
 
-// Append concatenates all bits of other onto b. The copy runs a byte at a
+// Append concatenates all bits of other onto b. The copy runs a word at a
 // time (memcpy when b is byte-aligned), not bit by bit.
 func (b *Buffer) Append(other *Buffer) {
 	m := other.Len()
@@ -217,10 +229,21 @@ func (b *Buffer) Append(other *Buffer) {
 	base := b.n >> 3
 	b.n += m
 	b.grow((b.n + 7) / 8)
-	for k, v := range src {
-		b.data[base+k] |= v << s
+	dst := b.data
+	k := 0
+	// 64-bit lanes: shift eight source bytes at once and spill the carry
+	// byte, while both the load and the spill stay in bounds.
+	for ; k+8 <= len(src) && base+k+9 <= len(dst); k += 8 {
+		v := binary.LittleEndian.Uint64(src[k:])
+		lo := binary.LittleEndian.Uint64(dst[base+k:]) | v<<s
+		binary.LittleEndian.PutUint64(dst[base+k:], lo)
+		dst[base+k+8] |= byte(v >> (64 - s))
+	}
+	for ; k < len(src); k++ {
+		v := src[k]
+		dst[base+k] |= v << s
 		if hi := v >> (8 - s); hi != 0 {
-			b.data[base+k+1] |= hi
+			dst[base+k+1] |= hi
 		}
 	}
 }
@@ -241,7 +264,9 @@ func (b *Buffer) Slice(from, to int) (*Buffer, error) {
 }
 
 // copyBits copies m bits of src starting at bit offset `from` into dst
-// starting at bit 0, then masks the trailing partial byte of dst.
+// starting at bit 0, then masks the trailing partial byte of dst. The
+// misaligned path runs 64 bits per iteration (one unaligned load, one
+// shift, one carry byte) with a byte-granular tail.
 func copyBits(dst, src []byte, from, m int) {
 	if m == 0 {
 		return
@@ -252,7 +277,13 @@ func copyBits(dst, src []byte, from, m int) {
 	if s == 0 {
 		copy(dst, src[i:i+nb])
 	} else {
-		for k := 0; k < nb; k++ {
+		k := 0
+		for ; k+8 <= nb && i+k+9 <= len(src); k += 8 {
+			w := binary.LittleEndian.Uint64(src[i+k:]) >> s
+			w |= uint64(src[i+k+8]) << (64 - s)
+			binary.LittleEndian.PutUint64(dst[k:], w)
+		}
+		for ; k < nb; k++ {
 			v := src[i+k] >> s
 			if i+k+1 < len(src) {
 				v |= src[i+k+1] << (8 - s)
@@ -331,19 +362,26 @@ func (b *Buffer) OrRange(src *Buffer, from, to, at int) error {
 }
 
 // orBits ORs m bits of src starting at bit `from` into dst starting at
-// bit `at`, a byte at a time.
+// bit `at` — 64-bit lanes (unaligned gather, shift, unaligned scatter)
+// with a byte-granular tail. Both offsets may be misaligned
+// independently; callers guarantee m valid bits at `from` in src and
+// at+m valid bits of room in dst, which is what keeps gather64 and
+// scatterOr64 in bounds (see the invariant on Buffer).
 func orBits(dst []byte, at int, src []byte, from, m int) {
-	nb := (m + 7) / 8
-	for k := 0; k < nb; k++ {
-		width := m - 8*k
+	k := 0
+	for ; k+64 <= m; k += 64 {
+		scatterOr64(dst, at+k, gather64(src, from+k))
+	}
+	for ; k < m; k += 8 {
+		width := m - k
 		if width > 8 {
 			width = 8
 		}
-		v := byteAt(src, from+8*k, width)
+		v := byteAt(src, from+k, width)
 		if v == 0 {
 			continue
 		}
-		pos := at + 8*k
+		pos := at + k
 		i, s := pos>>3, uint(pos&7)
 		dst[i] |= v << s
 		if s != 0 {
@@ -352,6 +390,29 @@ func orBits(dst []byte, at int, src []byte, from, m int) {
 			}
 		}
 	}
+}
+
+// gather64 reads 64 bits of src at bit offset pos; all 64 bits must be
+// within src.
+func gather64(src []byte, pos int) uint64 {
+	i, s := pos>>3, uint(pos&7)
+	w := binary.LittleEndian.Uint64(src[i:])
+	if s != 0 {
+		w = w>>s | uint64(src[i+8])<<(64-s)
+	}
+	return w
+}
+
+// scatterOr64 ORs 64 bits into dst at bit offset pos; all 64 bits must
+// land within dst.
+func scatterOr64(dst []byte, pos int, w uint64) {
+	i, s := pos>>3, uint(pos&7)
+	if s == 0 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])|w)
+		return
+	}
+	binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])|w<<s)
+	dst[i+8] |= byte(w >> (64 - s))
 }
 
 // Chunks splits the buffer into pieces of at most chunkBits bits each,
@@ -428,9 +489,14 @@ func Get(sizeHint int) *Buffer {
 // Release resets b and returns it to the package pool. Frozen views are
 // never pooled (recipients may still hold them); storage shared with a
 // frozen view is abandoned to the view and only the struct is recycled.
-// Release of nil is a no-op.
+// An unstaged arena buffer goes back to its own arena instead (only its
+// owner may call this). Release of nil is a no-op.
 func (b *Buffer) Release() {
 	if b == nil || b.frozen {
+		return
+	}
+	if b.arena != nil {
+		b.Recycle()
 		return
 	}
 	b.Reset()

@@ -1,0 +1,84 @@
+package bits
+
+// Word-level bitset kernels shared by the packed-row code paths of the
+// repo: Buffer's own copy/or fast paths, f2's GF(2)/Boolean row folds
+// (schoolbook and four-Russians), and the sketch merge paths. They all
+// reduce to the same four shapes — accumulate or combine []uint64 lanes —
+// so they live here once, unrolled 4-wide (the unroll buys one bounds
+// check per 4 words and keeps the loop body branch-free; the compiler
+// does not auto-vectorise these, so the unroll is the whole win).
+//
+// All kernels operate on min(len(dst), len(src)) words; callers slice to
+// equal lengths on hot paths so the prefix min never truncates.
+
+// XorWords folds src into dst over GF(2): dst[i] ^= src[i].
+func XorWords(dst, src []uint64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst, src = dst[:n], src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// OrWords folds src into dst over the Boolean semiring: dst[i] |= src[i].
+func OrWords(dst, src []uint64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst, src = dst[:n], src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] |= src[i]
+		dst[i+1] |= src[i+1]
+		dst[i+2] |= src[i+2]
+		dst[i+3] |= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// XorInto writes a ^ b into dst (three-address form, for table builds
+// that must not clobber their operands). All three must have len(dst)
+// words available in a and b.
+func XorInto(dst, a, b []uint64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = a[i] ^ b[i]
+		dst[i+1] = a[i+1] ^ b[i+1]
+		dst[i+2] = a[i+2] ^ b[i+2]
+		dst[i+3] = a[i+3] ^ b[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// OrInto writes a | b into dst (three-address form).
+func OrInto(dst, a, b []uint64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = a[i] | b[i]
+		dst[i+1] = a[i+1] | b[i+1]
+		dst[i+2] = a[i+2] | b[i+2]
+		dst[i+3] = a[i+3] | b[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] | b[i]
+	}
+}

@@ -243,8 +243,17 @@ func (c *Config) validate() error {
 }
 
 // Stats is the accounting the lower/upper bounds of the paper reason about.
+//
+// Rounds counts rounds in which communication occurred: a message was
+// sent, or a delayed/duplicated message released by the fault plan landed
+// in an inbox. (Before the delay-fault accounting fix a round in which
+// only adversarially delayed traffic arrived was not counted even though
+// bits crossed links that round; the injector's Delays/Duplicates
+// counters and Stats.Rounds now agree on what "communication" means.)
+// Without a fault plan the two definitions coincide — deliveries happen
+// exactly in sending rounds — so fault-free accounting is unchanged.
 type Stats struct {
-	Rounds       int     // rounds in which at least one message was sent
+	Rounds       int     // rounds in which at least one message was sent or delivered
 	Steps        int     // engine iterations until all nodes halted
 	TotalBits    int64   // sum of bits over all sent messages
 	MaxLinkBits  int     // max bits sent on one directed link in one round
@@ -283,6 +292,37 @@ type NodeFunc func(ctx *Ctx, in []*bits.Buffer) (bool, error)
 // Step implements Node.
 func (f NodeFunc) Step(ctx *Ctx, in []*bits.Buffer) (bool, error) { return f(ctx, in) }
 
+// QuietRounds is the optional interface behind the engine's round
+// batching (DESIGN.md §13). A Node that also implements it may promise,
+// before each round, that its next k Step calls stage no messages —
+// locally-compute-heavy stretches such as sketch building or chunk
+// reassembly tails. When every live node promises k ≥ 2 quiet rounds
+// (and no fault plan, pending delivery or quiesce detector is armed,
+// since those need per-round delivery passes), the engine steps each
+// node through min-over-nodes(k) rounds in a single worker-pool dispatch
+// instead of paying a dispatch + collection pass per round. Nodes may
+// still halt mid-batch. A node that breaks its promise by staging a
+// message inside a declared-quiet round fails the run with an error —
+// loudly, never by reordering traffic. Outputs and Stats are unchanged
+// by batching; it is purely a dispatch-count optimization, applied
+// identically at every Parallelism setting.
+type QuietRounds interface {
+	// QuietRounds reports how many consecutive rounds, starting with the
+	// node's next Step call, the node promises to stage nothing. Values
+	// <= 1 promise nothing and never batch.
+	QuietRounds() int
+}
+
+// BatchableNode glues a quiet-round oracle onto an existing Node, for
+// protocols whose step logic and round schedule live in separate places.
+type BatchableNode struct {
+	Node
+	Quiet func() int
+}
+
+// QuietRounds implements the engine's batching probe.
+func (b BatchableNode) QuietRounds() int { return b.Quiet() }
+
 // Ctx is a node's handle onto the network during one round.
 type Ctx struct {
 	id     int
@@ -292,6 +332,7 @@ type Ctx struct {
 	out    []*bits.Buffer // staged unicast messages, indexed by destination
 	sent   []int          // destinations staged this round
 	bcast  *bits.Buffer   // staged broadcast
+	arena  bits.Arena     // per-node message arena, recycled by the engine
 	output interface{}
 	halted bool
 }
@@ -316,6 +357,24 @@ func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
 // SetOutput records the node's final (or running) output value.
 func (c *Ctx) SetOutput(v interface{}) { c.output = v }
+
+// Msg returns an empty message buffer from the node's private arena —
+// the zero-steady-state-allocation way to build messages (DESIGN.md
+// §13). The contract is stage-once: fill the buffer and Send/Broadcast
+// it within the current Step call. Staging seals it in place (no
+// copy-on-write view is allocated; later writes panic), and the engine
+// recycles struct and storage one round after delivery, once every
+// recipient's inbox slot has been cleared. Consequently recipients must
+// not retain a Msg-built message beyond the Step that delivers it —
+// protocols that stash received buffers across rounds must build those
+// messages with bits.New instead. A drawn buffer that ends up not being
+// staged may be handed back with Release (or simply dropped). Under an
+// active fault plan messages may stay in flight arbitrarily long
+// (delays, duplicates), so the engine disables recycling — Msg still
+// works, it just allocates.
+func (c *Ctx) Msg() *bits.Buffer {
+	return c.arena.Get(c.cfg.Bandwidth)
+}
 
 // checkSend validates a unicast staging against the model's constraints.
 func (c *Ctx) checkSend(dst int, msg *bits.Buffer) error {
@@ -434,6 +493,26 @@ type engine struct {
 	errs      []error
 	delivered []delivery // inbox slots filled by the last delivery
 	workers   int
+	pool      *workerPool // resident round pool; nil when workers == 1
+
+	// Arena recycling (DESIGN.md §13): messages built via Ctx.Msg and
+	// filed this round are queued on reclaimNext; one round later — after
+	// the recipients' Step calls have run and their inbox slots are
+	// cleared — the previous round's queue (reclaim) returns them to
+	// their owners' arenas. Disabled under a fault plan, where messages
+	// can stay in flight past their delivery round.
+	reclaim     []*bits.Buffer
+	reclaimNext []*bits.Buffer
+
+	// Round batching (QuietRounds): quietNodes caches the per-node
+	// interface upgrade (nil when no node implements it, which switches
+	// the probe off entirely); emptyInbox is the shared all-nil inbox of
+	// inner batched rounds; batchRounds records how many rounds of a
+	// batch each live slot actually stepped.
+	quietNodes  []QuietRounds
+	emptyInbox  []*bits.Buffer
+	batchRounds []int
+	quiesce     int // resolved stall-detector threshold (<= 0: disarmed)
 
 	// Fault-injection state (all nil/zero when no plan is active).
 	plan    FaultInjector
@@ -474,6 +553,16 @@ func newEngine(cfg *Config, nodes []Node) *engine {
 		e.inboxes[i] = inboxFlat[i*n : (i+1)*n : (i+1)*n]
 		e.live[i] = i
 	}
+	for i, nd := range nodes {
+		if q, ok := nd.(QuietRounds); ok {
+			if e.quietNodes == nil {
+				e.quietNodes = make([]QuietRounds, n)
+				e.emptyInbox = make([]*bits.Buffer, n)
+				e.batchRounds = make([]int, n)
+			}
+			e.quietNodes[i] = q
+		}
+	}
 	return e
 }
 
@@ -505,7 +594,7 @@ func (e *engine) step(round int) error {
 			}
 		}
 	}
-	ParallelFor(e.workers, n, func(k int) {
+	body := func(k int) {
 		id := e.live[k]
 		if e.crashed != nil && e.crashed[id] {
 			e.done[k] = true
@@ -513,13 +602,28 @@ func (e *engine) step(round int) error {
 			return
 		}
 		e.errs[k] = e.stepOne(k, id, round)
-	})
+	}
+	if e.pool != nil && n > 1 {
+		e.pool.run(n, body)
+	} else {
+		// Width-1 (the sequential oracle) and single-node rounds step
+		// inline: no dispatch, no closure fan-out.
+		for k := 0; k < n; k++ {
+			body(k)
+		}
+	}
 	for k, id := range e.live {
 		if err := e.errs[k]; err != nil {
 			return fmt.Errorf("core: node %d failed in round %d: %w", id, round, err)
 		}
 	}
-	// Compact the live list; halt the nodes that reported done.
+	e.compactLive()
+	return nil
+}
+
+// compactLive halts the nodes that reported done and double-buffers the
+// live list.
+func (e *engine) compactLive() {
 	next := e.spare[:0]
 	for k, id := range e.live {
 		if e.done[k] {
@@ -530,7 +634,98 @@ func (e *engine) step(round int) error {
 	}
 	e.stepped = e.live
 	e.live, e.spare = next, e.live
-	return nil
+}
+
+// quietBatch reports how many consecutive rounds, starting at `round`,
+// every live node has promised to stay silent — the width of the next
+// round batch (1 = no batching). Batching needs a per-round delivery
+// pass to be provably redundant, so any fault plan, pending delivery or
+// armed quiesce detector switches it off.
+func (e *engine) quietBatch(round, maxRounds int) int {
+	if e.quietNodes == nil || e.plan != nil || e.quiesce > 0 || len(e.pending) > 0 {
+		return 1
+	}
+	k := maxRounds - round
+	for _, id := range e.live {
+		q := e.quietNodes[id]
+		if q == nil {
+			return 1
+		}
+		qr := q.QuietRounds()
+		if qr <= 1 {
+			return 1
+		}
+		if qr < k {
+			k = qr
+		}
+	}
+	return k
+}
+
+// stepQuiet steps every live node through up to k declared-quiet rounds
+// in one dispatch: the first inner round sees the node's real inbox,
+// later ones the shared empty inbox (nothing can arrive — nobody is
+// sending). It returns the number of rounds actually executed, which is
+// k unless every node halted earlier. A node that stages a message in a
+// promised-quiet round fails the run. Accounting is identical to
+// stepping the same rounds one at a time: no sends means Rounds and the
+// delivery pass are untouched, and Steps advances by the return value.
+func (e *engine) stepQuiet(start, k int) (int, error) {
+	n := len(e.live)
+	body := func(slot int) {
+		id := e.live[slot]
+		ctx := e.ctxs[id]
+		e.errs[slot] = nil
+		e.done[slot] = false
+		for j := 0; j < k; j++ {
+			in := e.emptyInbox
+			if j == 0 {
+				in = e.inboxes[id]
+			}
+			ctx.round = start + j
+			d, err := e.nodes[id].Step(ctx, in)
+			e.batchRounds[slot] = j + 1
+			if err != nil {
+				e.errs[slot] = err
+				return
+			}
+			if len(ctx.sent) != 0 || ctx.bcast != nil {
+				e.errs[slot] = fmt.Errorf("core: node %d staged a message in declared-quiet round %d", id, start+j)
+				return
+			}
+			if d {
+				e.done[slot] = true
+				return
+			}
+		}
+	}
+	if e.pool != nil && n > 1 {
+		e.pool.run(n, body)
+	} else {
+		for slot := 0; slot < n; slot++ {
+			body(slot)
+		}
+	}
+	// Report the earliest failure in (round, node-id) order — the same
+	// error the unbatched engine would have surfaced first.
+	errSlot, errRound := -1, 0
+	for slot := range e.live[:n] {
+		if e.errs[slot] != nil && (errSlot < 0 || e.batchRounds[slot] < errRound) {
+			errSlot, errRound = slot, e.batchRounds[slot]
+		}
+	}
+	if errSlot >= 0 {
+		return 0, fmt.Errorf("core: node %d failed in round %d: %w",
+			e.live[errSlot], start+errRound-1, e.errs[errSlot])
+	}
+	executed := 0
+	for slot := 0; slot < n; slot++ {
+		if e.batchRounds[slot] > executed {
+			executed = e.batchRounds[slot]
+		}
+	}
+	e.compactLive()
+	return executed, nil
 }
 
 // deliver collects the messages staged by this round's stepped nodes,
@@ -546,6 +741,16 @@ func (e *engine) deliver(round int) {
 		e.inboxes[d.dst][d.src] = nil
 	}
 	e.delivered = e.delivered[:0]
+
+	// Arena messages filed one round ago have now been read (the
+	// recipients' Step calls ran between the two deliver passes) and
+	// their inbox slots are cleared above — hand them back to their
+	// owners' arenas.
+	for i, b := range e.reclaim {
+		b.Recycle()
+		e.reclaim[i] = nil
+	}
+	e.reclaim = e.reclaim[:0]
 
 	// Delayed and duplicated messages due this round land first: they
 	// were on the wire before anything staged now.
@@ -571,6 +776,9 @@ func (e *engine) deliver(round int) {
 		if msg := ctx.bcast; msg != nil {
 			ctx.bcast = nil
 			sentAny = true
+			if e.plan == nil && msg.MarkReclaim() {
+				e.reclaimNext = append(e.reclaimNext, msg)
+			}
 			ln := msg.Len()
 			e.stats.TotalBits += int64(ln)
 			e.stats.NodeSentBits[i] += int64(ln)
@@ -598,6 +806,11 @@ func (e *engine) deliver(round int) {
 		for _, dst := range ctx.sent {
 			msg := ctx.out[dst]
 			ctx.out[dst] = nil
+			// A unicast-model Broadcast stages one frozen buffer once per
+			// link; MarkReclaim dedups so it is queued exactly once.
+			if e.plan == nil && msg.MarkReclaim() {
+				e.reclaimNext = append(e.reclaimNext, msg)
+			}
 			ln := msg.Len()
 			e.stats.TotalBits += int64(ln)
 			e.stats.NodeSentBits[i] += int64(ln)
@@ -613,14 +826,20 @@ func (e *engine) deliver(round int) {
 		}
 		ctx.sent = ctx.sent[:0]
 	}
-	if sentAny {
-		e.stats.Rounds++
-	}
+	// A round counts toward Stats.Rounds when communication happened in
+	// it: something was sent, or a delayed/duplicated message released by
+	// the fault plan landed. (Delivery-only rounds used to be missed; see
+	// the Stats doc comment.)
 	if sentAny || delivered {
+		e.stats.Rounds++
 		e.quiet = 0
 	} else {
 		e.quiet++
 	}
+
+	// Swap the reclaim queues: what was filed this round is recycled at
+	// the top of the next delivery pass.
+	e.reclaim, e.reclaimNext = e.reclaimNext, e.reclaim
 }
 
 // file routes one metered message through the fault plan (if any) and
@@ -690,20 +909,34 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 		maxRounds = DefaultMaxRounds
 	}
 	e := newEngine(&cfg, nodes)
-	quiesce := cfg.QuiesceLimit
-	if quiesce == 0 && e.plan != nil {
-		quiesce = DefaultQuiesceLimit
+	e.quiesce = cfg.QuiesceLimit
+	if e.quiesce == 0 && e.plan != nil {
+		e.quiesce = DefaultQuiesceLimit
+	}
+	if e.workers > 1 {
+		// Resident round pool: spawned once here, parked between rounds.
+		// Width 1 (the sequential oracle) keeps pool == nil and steps
+		// inline — zero dispatch machinery on that path.
+		e.pool = newWorkerPool(e.workers)
+		defer e.pool.close()
 	}
 	for step := 0; len(e.live) > 0; step++ {
 		if step >= maxRounds {
 			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
 		}
 		e.stats.Steps = step + 1
-		if err := e.step(step); err != nil {
+		if k := e.quietBatch(step, maxRounds); k > 1 {
+			executed, err := e.stepQuiet(step, k)
+			if err != nil {
+				return nil, err
+			}
+			e.stats.Steps = step + executed
+			step += executed - 1
+		} else if err := e.step(step); err != nil {
 			return nil, err
 		}
 		e.deliver(step)
-		if quiesce > 0 && e.quiet >= quiesce {
+		if e.quiesce > 0 && e.quiet >= e.quiesce {
 			return nil, fmt.Errorf("%w: %d live nodes at step %d", ErrStalled, len(e.live), step)
 		}
 	}

@@ -27,16 +27,20 @@ import (
 // `rounds` rounds, sends a Bandwidth-bit message to `fanout` pseudorandom
 // destinations and XOR-folds everything it receives. Per-node work is
 // independent, so it exposes the stepping overhead of the round loop.
+// Messages come from the node's arena (Ctx.Msg) and reads go through a
+// stack Reader, so the steady state of the loop allocates nothing.
 func gossipNodes(n, rounds, fanout int) []Node {
 	nodes := make([]Node, n)
 	for i := 0; i < n; i++ {
 		nodes[i] = NodeFunc(func(ctx *Ctx, in []*bits.Buffer) (bool, error) {
 			var acc uint64
+			var r bits.Reader
 			for _, msg := range in {
 				if msg == nil {
 					continue
 				}
-				v, err := bits.NewReader(msg).ReadUint(32)
+				r.Reset(msg)
+				v, err := r.ReadUint(32)
 				if err != nil {
 					return false, err
 				}
@@ -51,7 +55,7 @@ func gossipNodes(n, rounds, fanout int) []Node {
 				if dst == ctx.ID() || ctx.out[dst] != nil {
 					continue // collision with an earlier draw this round
 				}
-				m := bits.New(32)
+				m := ctx.Msg()
 				m.WriteUint(uint64(ctx.ID())<<16^uint64(ctx.Round()+k), 32)
 				if err := ctx.Send(dst, m); err != nil {
 					return false, err
@@ -66,7 +70,7 @@ func gossipNodes(n, rounds, fanout int) []Node {
 // bcastNodes builds an N-node unicast protocol in which every node
 // broadcasts a Bandwidth-bit message each round — the clone-heavy shape:
 // the seed engine deep-copied each broadcast N-1 times, the zero-copy
-// engine freezes it once.
+// engine freezes the arena buffer in place.
 func bcastNodes(n, rounds int) []Node {
 	nodes := make([]Node, n)
 	for i := 0; i < n; i++ {
@@ -75,7 +79,7 @@ func bcastNodes(n, rounds int) []Node {
 				ctx.SetOutput(ctx.Round())
 				return true, nil
 			}
-			m := bits.New(32)
+			m := ctx.Msg()
 			m.WriteUint(uint64(ctx.ID())*31+uint64(ctx.Round()), 32)
 			return false, ctx.Broadcast(m)
 		})
@@ -138,6 +142,31 @@ func BenchmarkRunBroadcastFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScaling sweeps an explicit worker curve (1/2/4/8) over
+// the two engine-bound shapes at N=256 — the multicore scaling record
+// that scripts/bench.sh folds into BENCH_<date>.json as engine_scaling.
+// On a 1-CPU box every width degenerates to time-sliced goroutines; the
+// curve is meaningful on GOMAXPROCS >= 4 runners (the CI scaling job).
+func BenchmarkEngineScaling(b *testing.B) {
+	const n = 256
+	shapes := []struct {
+		name   string
+		rounds int
+		mk     func() []Node
+	}{
+		{"gossip", 20, func() []Node { return gossipNodes(n, 20, 8) }},
+		{"bcast", 10, func() []Node { return bcastNodes(n, 10) }},
+	}
+	for _, sh := range shapes {
+		for _, w := range []int{1, 2, 4, 8} {
+			cfg := Config{N: n, Bandwidth: 32, Model: Unicast, Seed: 7, Parallelism: w}
+			b.Run(fmt.Sprintf("%s/N=%d/w=%d", sh.name, n, w), func(b *testing.B) {
+				benchRun(b, sh.rounds, sh.mk, cfg)
+			})
+		}
+	}
+}
+
 // BenchmarkRunProcsGossip exercises the goroutine-per-node (Proc) surface
 // on a congest ring, the third protocol family.
 func BenchmarkRunProcsGossip(b *testing.B) {
@@ -152,7 +181,7 @@ func BenchmarkRunProcsGossip(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, err := RunProcs(cfg, func(p *Proc) error {
 					for r := 0; r < rounds; r++ {
-						m := bits.New(32)
+						m := p.Msg()
 						m.WriteUint(uint64(p.ID()+r), 32)
 						if err := p.Broadcast(m); err != nil {
 							return err

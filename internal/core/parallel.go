@@ -98,3 +98,98 @@ func ParallelFor(workers, n int, fn func(i int)) {
 		panic(first)
 	}
 }
+
+// poolTask is one contiguous chunk of a dispatched loop.
+type poolTask struct {
+	lo, hi int
+	fn     func(i int)
+}
+
+// workerPool is the engine's resident round pool: workers are spawned
+// once per Run and parked between rounds, so dispatching a round costs
+// one channel send per worker instead of a goroutine spawn (what
+// ParallelFor pays on every call — fine for one-shot fan-outs like the
+// scenario shards, pure overhead when the same loop shape is dispatched
+// thousands of times). Chunk assignment matches ParallelFor: contiguous
+// chunks in index order, and the dispatching goroutine runs chunk 0
+// itself so a pool of k workers keeps k CPUs busy with k-1 handoffs.
+type workerPool struct {
+	workers int
+	tasks   chan poolTask
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	first   *PanicError
+}
+
+// newWorkerPool starts workers-1 parked goroutines (the caller of run is
+// the remaining worker). close must be called when the pool's owner is
+// done, or the goroutines leak.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, tasks: make(chan poolTask, workers)}
+	for g := 1; g < workers; g++ {
+		go func() {
+			for t := range p.tasks {
+				p.runChunk(t)
+			}
+		}()
+	}
+	return p
+}
+
+// runChunk executes one chunk under the same panic discipline as
+// ParallelFor: recover, record the lowest failing index, drain.
+func (p *workerPool) runChunk(t poolTask) {
+	i := t.lo
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			p.mu.Lock()
+			if p.first == nil || i < p.first.Index {
+				p.first = pe
+			}
+			p.mu.Unlock()
+		}
+		p.wg.Done()
+	}()
+	for ; i < t.hi; i++ {
+		t.fn(i)
+	}
+}
+
+// run executes fn(i) for every i in [0, n) across the pool and blocks
+// until all chunks finish. Panic semantics are ParallelFor's: the
+// lowest-index worker panic is re-raised on the caller as a *PanicError
+// after every worker drains; the pool stays usable afterwards.
+func (p *workerPool) run(n int, fn func(i int)) {
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	spans := (n + chunk - 1) / chunk
+	p.wg.Add(spans)
+	for g := 1; g < spans; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.tasks <- poolTask{lo: lo, hi: hi, fn: fn}
+	}
+	p.runChunk(poolTask{lo: 0, hi: chunk, fn: fn})
+	p.wg.Wait()
+	if p.first != nil {
+		pe := p.first
+		p.first = nil
+		panic(pe)
+	}
+}
+
+// close releases the pool's parked goroutines.
+func (p *workerPool) close() { close(p.tasks) }

@@ -79,3 +79,109 @@ func TestParallelForNoPanic(t *testing.T) {
 		t.Fatalf("sum = %d, want 4950", got)
 	}
 }
+
+// TestParallelForExactlyOnce is the coverage property: for every
+// (workers, n) boundary shape — workers > n, n = 0, chunk-remainder
+// shapes, degenerate widths — each index in [0, n) is called exactly
+// once, with no extras.
+func TestParallelForExactlyOnce(t *testing.T) {
+	workerShapes := []int{0, 1, 2, 3, 4, 7, 8, 16, 100}
+	nShapes := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257}
+	for _, workers := range workerShapes {
+		for _, n := range nShapes {
+			counts := make([]atomic.Int32, n+1) // +1 guards against i == n
+			ParallelFor(workers, n, func(i int) {
+				if i < 0 || i >= n {
+					t.Errorf("workers=%d n=%d: index %d out of range", workers, n, i)
+					return
+				}
+				counts[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times, want 1", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForAllPanicLowestWins saturates the panic path: when every
+// index panics, the re-raised PanicError must carry index 0 — each
+// worker records only its chunk's first failure and the global minimum
+// is chunk 0's first index.
+func TestParallelForAllPanicLowestWins(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		for _, n := range []int{2, 7, 64} {
+			func() {
+				defer func() {
+					pe, ok := recover().(*PanicError)
+					if !ok || pe.Index != 0 {
+						t.Errorf("workers=%d n=%d: recovered %v, want PanicError at index 0", workers, n, pe)
+					}
+				}()
+				ParallelFor(workers, n, func(i int) { panic(i) })
+			}()
+		}
+	}
+}
+
+// TestWorkerPoolExactlyOnce runs the resident pool over the same
+// boundary grid as ParallelFor, reusing one pool across every dispatch —
+// the engine's actual usage pattern (thousands of run calls per pool).
+func TestWorkerPoolExactlyOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := newWorkerPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 9, 16, 17, 64, 257} {
+			counts := make([]atomic.Int32, n+1)
+			p.run(n, func(i int) {
+				if i < 0 || i >= n {
+					t.Errorf("workers=%d n=%d: index %d out of range", workers, n, i)
+					return
+				}
+				counts[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times, want 1", workers, n, i, c)
+				}
+			}
+		}
+		p.close()
+	}
+}
+
+// TestWorkerPoolPanicAndReuse pins the pool's panic discipline: the
+// lowest-index panic is re-raised as a *PanicError after all chunks
+// drain, and the pool remains fully usable for later dispatches.
+func TestWorkerPoolPanicAndReuse(t *testing.T) {
+	p := newWorkerPool(4)
+	defer p.close()
+	var ran atomic.Int64
+	func() {
+		defer func() {
+			pe, ok := recover().(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T, want *PanicError", recover())
+			}
+			if pe.Index != 5 {
+				t.Errorf("panic index %d, want 5 (lowest of 5 and 61)", pe.Index)
+			}
+		}()
+		p.run(64, func(i int) {
+			ran.Add(1)
+			if i == 5 || i == 61 {
+				panic(i)
+			}
+		})
+	}()
+	if ran.Load() == 0 {
+		t.Fatal("no iterations ran before the panic")
+	}
+	// The pool must have cleared its panic state and still work.
+	var sum atomic.Int64
+	p.run(100, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("post-panic dispatch sum = %d, want 4950", got)
+	}
+}

@@ -50,6 +50,12 @@ func (p *Proc) Round() int { return p.ctx.Round() }
 // SetOutput records the node's output value.
 func (p *Proc) SetOutput(v interface{}) { p.ctx.SetOutput(v) }
 
+// Msg returns an empty message buffer from the node's private arena; see
+// Ctx.Msg for the stage-once contract and recycling lifecycle. Safe here
+// because a Proc body runs only inside its step window, bounded by the
+// round barrier.
+func (p *Proc) Msg() *bits.Buffer { return p.ctx.Msg() }
+
 // Send stages a unicast message for the current round.
 func (p *Proc) Send(dst int, msg *bits.Buffer) error { return p.ctx.Send(dst, msg) }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+
+	rbits "repro/internal/bits"
 )
 
 // Matrix is a square boolean matrix over GF(2). Entries are packed 64 per
@@ -116,9 +118,7 @@ func Add(m, o *Matrix) *Matrix {
 	mustMatch(m, o)
 	out := New(m.n)
 	for i := range m.rows {
-		for w := range m.rows[i] {
-			out.rows[i][w] = m.rows[i][w] ^ o.rows[i][w]
-		}
+		rbits.XorInto(out.rows[i], m.rows[i], o.rows[i])
 	}
 	return out
 }
@@ -135,10 +135,7 @@ func Mul(m, o *Matrix) *Matrix {
 			for word != 0 {
 				k := w*64 + bits.TrailingZeros64(word)
 				word &= word - 1
-				src := o.rows[k]
-				for t := range dst {
-					dst[t] ^= src[t]
-				}
+				rbits.XorWords(dst, o.rows[k])
 			}
 		}
 	}
@@ -188,13 +185,9 @@ func fourRussians(m, o *Matrix, boolean bool) *Matrix {
 			row := o.rows[base+bits.TrailingZeros64(uint64(low))]
 			dst := tbl[s*words : (s+1)*words]
 			if boolean {
-				for t := range dst {
-					dst[t] = src[t] | row[t]
-				}
+				rbits.OrInto(dst, src, row)
 			} else {
-				for t := range dst {
-					dst[t] = src[t] ^ row[t]
-				}
+				rbits.XorInto(dst, src, row)
 			}
 		}
 		// base is a multiple of m4rBlock, which divides 64, so the 8-bit
@@ -210,13 +203,9 @@ func fourRussians(m, o *Matrix, boolean bool) *Matrix {
 			src := tbl[int(s)*words : (int(s)+1)*words]
 			dst := out.rows[i]
 			if boolean {
-				for t := range dst {
-					dst[t] |= src[t]
-				}
+				rbits.OrWords(dst, src)
 			} else {
-				for t := range dst {
-					dst[t] ^= src[t]
-				}
+				rbits.XorWords(dst, src)
 			}
 		}
 	}
@@ -285,10 +274,7 @@ func BoolMul(m, o *Matrix) *Matrix {
 			for word != 0 {
 				k := w*64 + bits.TrailingZeros64(word)
 				word &= word - 1
-				src := o.rows[k]
-				for t := range dst {
-					dst[t] |= src[t]
-				}
+				rbits.OrWords(dst, o.rows[k])
 			}
 		}
 	}

@@ -145,11 +145,9 @@ func (s *Sampler) Merge(o *Sampler) {
 	if s.universe != o.universe || s.fpBits != o.fpBits || s.seed != o.seed {
 		panic("sketch: merging incompatible samplers")
 	}
-	for l := 0; l < s.levels; l++ {
-		s.par[l] ^= o.par[l]
-		s.ids[l] ^= o.ids[l]
-		s.fps[l] ^= o.fps[l]
-	}
+	bits.XorWords(s.par, o.par[:s.levels])
+	bits.XorWords(s.ids, o.ids[:s.levels])
+	bits.XorWords(s.fps, o.fps[:s.levels])
 }
 
 // IsZero reports whether the sketch is identically zero — true whenever

@@ -7,7 +7,9 @@
 # ("e16_sketch_connectivity"), the E17 fault-recovery records at n=64
 # ("e17_fault_recovery") and
 # the quick scenario matrix summary ("scenario_matrix"; full cell
-# records land in SCENARIOS_<date>.json; schema in DESIGN.md §8).
+# records land in SCENARIOS_<date>.json; schema in DESIGN.md §8) and the
+# multicore scaling curve ("engine_scaling": 1/2/4/8-worker ns and
+# speedups for the engine and scenario-shard paths; see DESIGN.md §13).
 # Compare files across PRs to see the trend (ns/op and allocs/op per
 # benchmark, cells and divergences per matrix, the MM cost crossover).
 #
@@ -32,7 +34,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ ./internal/scenario/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
@@ -55,6 +57,42 @@ BEGIN { print "[" }
 END { print "\n]" }
 ' "$tmp" > "$out"
 
+# Fold the multicore scaling curve ("engine_scaling"): the engine worker
+# sweep (gossip + broadcast fan-out at N=256, BenchmarkEngineScaling) and
+# the scenario shard sweep (BenchmarkShardScaling), with speedups
+# relative to one worker. Parsed from the main bench output above, so it
+# records the same run, not a second one. Real scaling needs
+# GOMAXPROCS >= 4 (the CI multicore job); a 1-CPU run still records the
+# curve, and the gomaxprocs field tells readers how to interpret it.
+fold_scaling() {
+  local scaling
+  scaling="$(awk '
+    /^Benchmark(EngineScaling|ShardScaling)\// {
+      n = split($1, a, "/")
+      shape = (a[1] ~ /ShardScaling/) ? "scenario" : a[2]
+      w = a[n]; sub(/^(w|shards)=/, "", w); sub(/-.*$/, "", w)
+      ns[shape "_w" w] = $3; seen[shape] = 1; ws[w] = 1
+    }
+    END {
+      out = ""
+      for (shape in seen) {
+        for (w in ws)
+          if ((shape "_w" w) in ns)
+            out = out sprintf("\"%s_w%s_ns\": %s, ", shape, w, ns[shape "_w" w])
+        if ((shape "_w1") in ns)
+          for (w in ws)
+            if (w != 1 && (shape "_w" w) in ns)
+              out = out sprintf("\"%s_speedup_w%s\": %.2f, ",
+                                shape, w, ns[shape "_w1"] / ns[shape "_w" w])
+      }
+      sub(/, $/, "", out)
+      print out
+    }' "$tmp")"
+  [[ -z "$scaling" ]] && return 0
+  append_record "{\"date\": \"${date}\", \"name\": \"engine_scaling\", \"gomaxprocs\": $(nproc 2>/dev/null || echo 1), ${scaling}}"
+  echo "folded engine scaling curve into $out"
+}
+
 # append_record adds one JSON object to the top-level array in $out,
 # inserting the separating comma only when a record precedes it — every
 # record carries a "name" key, so its presence is the emptiness test
@@ -67,6 +105,8 @@ append_record() {
   sed '$d' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
   printf '%s\n  %s\n]\n' "$sep" "$record" >> "$out"
 }
+
+fold_scaling
 
 # Run the full E15 semiring MM ablation (the quick sweep stops at n=16;
 # the acceptance point is n=64) and fold its n=64 record line into the
