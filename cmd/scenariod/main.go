@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenariod"
 )
 
@@ -48,7 +50,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   scenariod serve  [-addr HOST:PORT] [-ledger-dir DIR] [-lease-ttl D] [-max-attempts N]
                    [-backoff D] [-backoff-cap D] [-max-queued N] [-sweep-every D] [-drain-grace D]
-  scenariod worker [-server URL] [-name ID] [-cache DIR] [-timeout D] [-retries N] [-poll D]`)
+                   [-events PATH] [-pprof]
+  scenariod worker [-server URL] [-name ID] [-cache DIR] [-timeout D] [-retries N] [-poll D]
+                   [-metrics-addr HOST:PORT] [-pprof] [-trace-dir DIR]`)
 }
 
 func serve(args []string) int {
@@ -63,8 +67,21 @@ func serve(args []string) int {
 		maxQueued   = fs.Int("max-queued", 100000, "bound on unfinished cells across runs; submissions over it are shed with 503")
 		sweepEvery  = fs.Duration("sweep-every", time.Second, "lease-expiry sweep interval")
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight leases before shutting down")
+		eventsPath  = fs.String("events", "", "append structured NDJSON lease-lifecycle events to this file (\"\" = off)")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the server handler")
 	)
 	fs.Parse(args)
+
+	var events *obs.EventLog
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenariod: events: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		events = obs.NewEventLog(f)
+	}
 
 	s, err := scenariod.New(scenariod.Config{
 		LedgerDir:      *ledgerDir,
@@ -75,6 +92,8 @@ func serve(args []string) int {
 			BackoffBase: *backoff,
 			BackoffCap:  *backoffCap,
 		},
+		Events:      events,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenariod: %v\n", err)
@@ -127,14 +146,17 @@ func serve(args []string) int {
 func worker(args []string) int {
 	fs := flag.NewFlagSet("scenariod worker", flag.ExitOnError)
 	var (
-		server     = fs.String("server", "http://127.0.0.1:8437", "scenariod base URL")
-		name       = fs.String("name", "", "worker id (default host-pid)")
-		cacheDir   = fs.String("cache", "", "content-addressed cache directory shared across workers (\"\" = no cache)")
-		timeout    = fs.Duration("timeout", 0, "per-leg deadline (0 = none)")
-		retries    = fs.Int("retries", 0, "quarantine retries for infra-failed legs")
-		backoff    = fs.Duration("retry-backoff", 0, "base pause before quarantine retries (0 = immediate)")
-		backoffCap = fs.Duration("retry-backoff-cap", 0, "retry backoff cap (0 = 32x base)")
-		poll       = fs.Duration("poll", 200*time.Millisecond, "lease poll interval when the queue is empty")
+		server      = fs.String("server", "http://127.0.0.1:8437", "scenariod base URL")
+		name        = fs.String("name", "", "worker id (default host-pid)")
+		cacheDir    = fs.String("cache", "", "content-addressed cache directory shared across workers (\"\" = no cache)")
+		timeout     = fs.Duration("timeout", 0, "per-leg deadline (0 = none)")
+		retries     = fs.Int("retries", 0, "quarantine retries for infra-failed legs")
+		backoff     = fs.Duration("retry-backoff", 0, "base pause before quarantine retries (0 = immediate)")
+		backoffCap  = fs.Duration("retry-backoff-cap", 0, "retry backoff cap (0 = 32x base)")
+		poll        = fs.Duration("poll", 200*time.Millisecond, "lease poll interval when the queue is empty")
+		metricsAddr = fs.String("metrics-addr", "", "serve this worker's /metrics (cache hits/misses) on HOST:PORT (\"\" = off)")
+		traceDir    = fs.String("trace-dir", "", "archive an engine-trace/v1 NDJSON trace per engine-leg run under this directory (\"\" = off)")
+		pprofOn     = fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 	)
 	fs.Parse(args)
 
@@ -145,6 +167,7 @@ func worker(args []string) int {
 		}
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	reg := obs.NewRegistry()
 	var cache *scenariod.Cache
 	if *cacheDir != "" {
 		var err error
@@ -153,6 +176,28 @@ func worker(args []string) int {
 			fmt.Fprintf(os.Stderr, "scenariod worker: %v\n", err)
 			return 1
 		}
+		cache.SetMetrics(
+			reg.Counter("scenariod_cache_hits_total", "verified cache reads"),
+			reg.Counter("scenariod_cache_misses_total", "cache reads that fell through to recompute"),
+		)
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenariod worker: metrics: %v\n", err)
+			return 1
+		}
+		fmt.Printf("scenariod worker metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -169,6 +214,7 @@ func worker(args []string) int {
 		Name:            *name,
 		Cache:           cache,
 		CellTimeout:     *timeout,
+		TraceDir:        *traceDir,
 		Retries:         *retries,
 		RetryBackoff:    *backoff,
 		RetryBackoffCap: *backoffCap,

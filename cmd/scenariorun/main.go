@@ -54,6 +54,7 @@ func main() {
 		ledger    = flag.String("ledger", "", "append-only resume ledger path; re-running with the same matrix and flags skips recorded cells")
 		sizes     = flag.String("sizes", "", "comma-separated size override, e.g. 10,16 (default: matrix sizes)")
 		submit    = flag.String("submit", "", "scenariod base URL: submit the matrix to a worker fleet instead of running locally (shards/timeout/retries/ledger then apply server- and worker-side)")
+		traceDir  = flag.String("trace-dir", "", "archive an engine-trace/v1 NDJSON file per engine-leg run under this directory (cliquetrace reads them)")
 	)
 	flag.Parse()
 
@@ -111,6 +112,7 @@ func main() {
 		RetryBackoffCap: *rbackcap,
 		Faults:          spec,
 		Ledger:          *ledger,
+		TraceDir:        *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)

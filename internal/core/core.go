@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/graph"
@@ -111,6 +112,17 @@ type Config struct {
 	// detector. 0 picks the default: DefaultQuiesceLimit when a fault
 	// plan is active, disabled otherwise; negative disables it always.
 	QuiesceLimit int
+
+	// Sink receives the run's round-level trace (see trace.go and
+	// DESIGN.md §14); nil consults the package default sink factory
+	// (SetDefaultSinkFactory), which is nil by default — untraced, at
+	// zero cost. A Sink is valid at every Parallelism setting: records
+	// are emitted from the sequential delivery pass and per-node marks
+	// merge in ascending node id, so the deterministic trace fields are
+	// bit-identical across worker widths — there is no configuration in
+	// which record order could become ambiguous, hence validate never
+	// rejects the combination (TestTraceMergeOrderParallel pins this).
+	Sink Sink
 }
 
 // FaultAction is the adversary's decision for one staged message on one
@@ -335,6 +347,8 @@ type Ctx struct {
 	arena  bits.Arena     // per-node message arena, recycled by the engine
 	output interface{}
 	halted bool
+	traced bool   // a trace sink is attached; Annotate is live
+	marks  []Mark // phase markers stamped this record, swept by deliver
 }
 
 // ID returns this node's identifier in [0, N).
@@ -520,6 +534,17 @@ type engine struct {
 	pending []pendingDelivery // delayed/duplicated messages in flight
 	crashed []bool
 	quiet   int // consecutive steps with no sends and no deliveries
+
+	// Round tracing (trace.go; all idle when sink is nil). rt is the
+	// reused scratch record; prev* snapshot the accounting at the top
+	// of each iteration so the record carries deltas.
+	sink        Sink
+	traceOn     bool
+	rt          RoundTrace
+	prevBits    int64
+	prevCut     int64
+	prevFaults  FaultStats
+	traceActive int // live-node count at the top of the iteration
 }
 
 func newEngine(cfg *Config, nodes []Node) *engine {
@@ -536,7 +561,9 @@ func newEngine(cfg *Config, nodes []Node) *engine {
 		errs:    make([]error, n),
 		workers: cfg.workers(),
 		plan:    cfg.resolveFaultPlan(),
+		sink:    cfg.resolveSink(),
 	}
+	e.traceOn = e.sink != nil
 	if e.plan != nil {
 		e.crashed = make([]bool, n)
 	}
@@ -544,11 +571,12 @@ func newEngine(cfg *Config, nodes []Node) *engine {
 	outFlat := make([]*bits.Buffer, n*n)
 	for i := 0; i < n; i++ {
 		e.ctxs[i] = &Ctx{
-			id:   i,
-			cfg:  cfg,
-			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_000_007 + int64(i))),
-			out:  outFlat[i*n : (i+1)*n : (i+1)*n],
-			sent: make([]int, 0, 4),
+			id:     i,
+			cfg:    cfg,
+			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_000_007 + int64(i))),
+			out:    outFlat[i*n : (i+1)*n : (i+1)*n],
+			sent:   make([]int, 0, 4),
+			traced: e.traceOn,
 		}
 		e.inboxes[i] = inboxFlat[i*n : (i+1)*n : (i+1)*n]
 		e.live[i] = i
@@ -785,6 +813,12 @@ func (e *engine) deliver(round int) {
 			if ln > e.stats.MaxLinkBits {
 				e.stats.MaxLinkBits = ln
 			}
+			if e.traceOn {
+				e.rt.Sends++
+				if ln > e.rt.MaxLinkBits {
+					e.rt.MaxLinkBits = ln
+				}
+			}
 			if cfg.CutSide != nil {
 				// A broadcast is readable by the other side of the cut
 				// once (shared blackboard), so it contributes its length.
@@ -817,6 +851,12 @@ func (e *engine) deliver(round int) {
 			if ln > e.stats.MaxLinkBits {
 				e.stats.MaxLinkBits = ln
 			}
+			if e.traceOn {
+				e.rt.Sends++
+				if ln > e.rt.MaxLinkBits {
+					e.rt.MaxLinkBits = ln
+				}
+			}
 			if cfg.CutSide != nil && cfg.CutSide[i] != cfg.CutSide[dst] {
 				e.stats.CutBits += int64(ln)
 			}
@@ -830,6 +870,9 @@ func (e *engine) deliver(round int) {
 	// it: something was sent, or a delayed/duplicated message released by
 	// the fault plan landed. (Delivery-only rounds used to be missed; see
 	// the Stats doc comment.)
+	if e.traceOn {
+		e.collectMarks()
+	}
 	if sentAny || delivered {
 		e.stats.Rounds++
 		e.quiet = 0
@@ -849,6 +892,10 @@ func (e *engine) file(round, src, dst int, msg *bits.Buffer) bool {
 	if e.plan == nil {
 		e.inboxes[dst][src] = msg
 		e.delivered = append(e.delivered, delivery{dst, src})
+		if e.traceOn {
+			e.rt.Delivered++
+			e.rt.DeliveredBits += int64(msg.Len())
+		}
 		return true
 	}
 	a := e.plan.OnMessage(round, src, dst, msg.Len())
@@ -892,6 +939,10 @@ func (e *engine) fileNow(dst, src int, msg *bits.Buffer) bool {
 	}
 	e.inboxes[dst][src] = msg
 	e.delivered = append(e.delivered, delivery{dst, src})
+	if e.traceOn {
+		e.rt.Delivered++
+		e.rt.DeliveredBits += int64(msg.Len())
+	}
 	return true
 }
 
@@ -920,9 +971,25 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 		e.pool = newWorkerPool(e.workers)
 		defer e.pool.close()
 	}
+	if e.traceOn {
+		e.sink.TraceStart(RunMeta{
+			N:           cfg.N,
+			Bandwidth:   cfg.Bandwidth,
+			Model:       cfg.Model,
+			Seed:        cfg.Seed,
+			Parallelism: e.workers,
+			Faulty:      e.plan != nil,
+		})
+	}
 	for step := 0; len(e.live) > 0; step++ {
 		if step >= maxRounds {
 			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+		}
+		var t0 time.Time
+		start, span := step, 1
+		if e.traceOn {
+			e.beginTrace()
+			t0 = time.Now()
 		}
 		e.stats.Steps = step + 1
 		if k := e.quietBatch(step, maxRounds); k > 1 {
@@ -932,10 +999,14 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 			}
 			e.stats.Steps = step + executed
 			step += executed - 1
+			span = executed
 		} else if err := e.step(step); err != nil {
 			return nil, err
 		}
 		e.deliver(step)
+		if e.traceOn {
+			e.emitTrace(start, span, time.Since(t0).Nanoseconds())
+		}
 		if e.quiesce > 0 && e.quiet >= e.quiesce {
 			return nil, fmt.Errorf("%w: %d live nodes at step %d", ErrStalled, len(e.live), step)
 		}
@@ -953,6 +1024,14 @@ func Run(cfg Config, nodes []Node) (*Result, error) {
 	if e.plan != nil {
 		f := e.faults
 		res.Faults = &f
+	}
+	if e.traceOn {
+		footer := RunFooter{Stats: e.stats, Pending: len(e.pending)}
+		if e.plan != nil {
+			f := e.faults
+			footer.Faults = &f
+		}
+		e.sink.TraceEnd(&footer)
 	}
 	return res, nil
 }

@@ -56,6 +56,15 @@ func (p *Proc) SetOutput(v interface{}) { p.ctx.SetOutput(v) }
 // round barrier.
 func (p *Proc) Msg() *bits.Buffer { return p.ctx.Msg() }
 
+// Annotate stamps a phase marker into the run's trace; see Ctx.Annotate.
+func (p *Proc) Annotate(name string) { p.ctx.Annotate(name) }
+
+// Annotatef stamps a formatted phase marker; see Ctx.Annotatef.
+func (p *Proc) Annotatef(format string, args ...interface{}) { p.ctx.Annotatef(format, args...) }
+
+// Traced reports whether the run has a trace sink attached.
+func (p *Proc) Traced() bool { return p.ctx.Traced() }
+
 // Send stages a unicast message for the current round.
 func (p *Proc) Send(dst int, msg *bits.Buffer) error { return p.ctx.Send(dst, msg) }
 

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Round-level tracing (DESIGN.md §14). A Sink installed on Config.Sink
+// (or via SetDefaultSinkFactory) receives one RoundTrace record per
+// engine iteration — per round, or per quiet-batch span — emitted from
+// the engine's sequential delivery pass, plus a RunMeta header and a
+// RunFooter carrying the final Stats. The tracer is a second,
+// independent auditor of the paper's accounting: summing the records
+// reconciles exactly with Stats (obs.Reconcile pins the identities),
+// and a nil Sink costs nothing — zero allocations per round, no
+// tracing work on the hot path (TestAllocRegressionTrace).
+//
+// # Determinism contract
+//
+// Every RoundTrace field except WallNs and Workers is a pure function
+// of (protocol, Config minus Parallelism): records are built during the
+// sequential collection/delivery pass in ascending node order, and
+// marks stamped by concurrently-stepped nodes are merged in ascending
+// node id (stamp order within a node), so traces are bit-identical
+// across Parallelism settings. WallNs is wall time (nondeterministic by
+// nature; obs keeps it out of the deterministic field set). Workers
+// records the per-worker dispatch counts of the round and therefore
+// varies with — and documents — the worker width. Quiet-round batching
+// merges k silent rounds into one record with Span=k; batched and
+// unbatched traces of the same run agree on every accounting sum.
+
+// Mark is a phase marker stamped by a protocol via Ctx.Annotate: the
+// stamping node, the round of the stamp, and a protocol-chosen name.
+// Analysis (internal/obs) treats marks as phase boundaries for
+// per-phase rounds·bits profiles.
+type Mark struct {
+	Node  int
+	Round int
+	Name  string
+}
+
+// RunMeta describes the run a trace belongs to; it is the header record
+// of an engine-trace/v1 stream.
+type RunMeta struct {
+	N           int
+	Bandwidth   int
+	Model       Model
+	Seed        int64
+	Parallelism int  // resolved worker count of this run
+	Faulty      bool // a fault plan is active
+}
+
+// RoundTrace is one record of the round-level trace. The engine reuses
+// a single RoundTrace (and its slices) across rounds, so a Sink that
+// retains records must copy them (obs.Recorder does).
+//
+// Reconciliation identities (obs.Reconcile asserts all of them):
+//
+//	sum(SentBits)               == Stats.TotalBits
+//	count(Sends>0||Delivered>0) == Stats.Rounds
+//	sum(Span)                   == Stats.Steps
+//	max(MaxLinkBits)            == Stats.MaxLinkBits
+//	sum(CutBits)                == Stats.CutBits
+//	sum(per-round fault deltas) == *Result.Faults (field by field)
+type RoundTrace struct {
+	Round int // first engine round this record covers
+	Span  int // rounds covered: 1, or the width of a quiet batch
+
+	Sends         int   // messages collected from senders (a broadcast counts once)
+	SentBits      int64 // bits metered as sent (the Stats.TotalBits delta)
+	Delivered     int   // messages that landed in inboxes this round
+	DeliveredBits int64 // bits that landed (per recipient; a broadcast counts per inbox)
+	MaxLinkBits   int   // max bits on one directed link within this record
+	CutBits       int64 // bits crossing Config.CutSide this record
+
+	Active int // live nodes stepped at the start of the record
+	Halted int // nodes that halted during the record
+
+	// Faults holds the adversary's intervention deltas for this record
+	// (all zero without a plan); summing over records reproduces
+	// Result.Faults exactly.
+	Faults FaultStats
+
+	// Workers is the per-worker dispatch count of the record's step
+	// fan-out: Workers[g] nodes were stepped by worker g. Deterministic
+	// given (live set, worker width) but — deliberately — not across
+	// widths; it is how a trace documents its engine configuration.
+	Workers []int
+
+	// Marks are the phase markers stamped during the record, merged in
+	// ascending node id, stamp order within a node.
+	Marks []Mark
+
+	// WallNs is the wall time of the record's step+delivery. It is the
+	// only nondeterministic field besides Workers; analysis excludes it
+	// from every determinism check.
+	WallNs int64
+}
+
+// RunFooter closes a trace: the run's final Stats, the adversary's
+// totals (nil without a plan), and how many adversarially delayed or
+// duplicated messages were still in flight when the run halted (their
+// bits were metered as sent but never delivered).
+type RunFooter struct {
+	Stats   Stats
+	Faults  *FaultStats
+	Pending int
+}
+
+// Sink receives the round-level trace of a run. All three methods are
+// invoked from the engine's sequential delivery pass — never
+// concurrently — in stream order: TraceStart once, TraceRound per
+// engine iteration, TraceEnd once on successful completion (a run that
+// fails with an error produces a truncated trace with no footer).
+// Implementations must copy any RoundTrace they retain; the engine
+// reuses the record and its slices.
+type Sink interface {
+	TraceStart(m RunMeta)
+	TraceRound(r *RoundTrace)
+	TraceEnd(f *RunFooter)
+}
+
+// defaultSinkFactory builds a Sink for runs whose Config has no
+// explicit Sink; nil means untraced. Same pattern — and same purpose —
+// as SetDefaultFaultFactory: harnesses inject tracing into protocols
+// that build their Config internally.
+var defaultSinkFactory atomic.Value // of sinkFactoryBox
+
+// sinkFactoryBox wraps the factory so atomic.Value tolerates nil.
+type sinkFactoryBox struct {
+	f func(seed int64) Sink
+}
+
+// SetDefaultSinkFactory installs (or, with nil, clears) the package
+// default trace source: runs whose Config.Sink is nil call it with
+// their Config.Seed to obtain a Sink (a nil return leaves the run
+// untraced). It returns the previous factory so callers can restore
+// it. This is how the scenario matrix archives per-cell traces and how
+// experiments profile protocols that own their Config.
+func SetDefaultSinkFactory(f func(seed int64) Sink) func(seed int64) Sink {
+	var prev func(seed int64) Sink
+	if box, ok := defaultSinkFactory.Load().(sinkFactoryBox); ok {
+		prev = box.f
+	}
+	defaultSinkFactory.Store(sinkFactoryBox{f})
+	return prev
+}
+
+// resolveSink picks the run's trace sink: the explicit Config.Sink,
+// else the package default factory applied to the run seed, else none.
+func (c *Config) resolveSink() Sink {
+	if c.Sink != nil {
+		return c.Sink
+	}
+	if box, ok := defaultSinkFactory.Load().(sinkFactoryBox); ok && box.f != nil {
+		return box.f(c.Seed)
+	}
+	return nil
+}
+
+// Annotate stamps a phase marker into the current round's trace record.
+// It is a no-op when the run is untraced — zero cost, so protocols may
+// annotate unconditionally with static names. Markers from distinct
+// nodes merge deterministically (ascending node id); by convention the
+// repo's protocols stamp global phase boundaries from node 0 only
+// (crash-exempt under every fault plan), so a trace carries one
+// boundary per phase.
+func (c *Ctx) Annotate(name string) {
+	if !c.traced {
+		return
+	}
+	c.marks = append(c.marks, Mark{Node: c.id, Round: c.round, Name: name})
+}
+
+// Annotatef is Annotate with formatting; the format is evaluated only
+// when the run is traced, so dynamic phase names ("phase 3") cost
+// nothing on untraced runs.
+func (c *Ctx) Annotatef(format string, args ...interface{}) {
+	if !c.traced {
+		return
+	}
+	c.marks = append(c.marks, Mark{Node: c.id, Round: c.round, Name: fmt.Sprintf(format, args...)})
+}
+
+// Traced reports whether this run has a trace sink attached — the guard
+// protocols use before assembling expensive annotation payloads.
+func (c *Ctx) Traced() bool { return c.traced }
+
+// beginTrace resets the scratch record and snapshots the accounting
+// the record's deltas are computed against. Called at the top of each
+// engine iteration, before crash resolution and stepping (crashes
+// counted in step land in this record's fault deltas).
+func (e *engine) beginTrace() {
+	e.rt.Sends = 0
+	e.rt.SentBits = 0
+	e.rt.Delivered = 0
+	e.rt.DeliveredBits = 0
+	e.rt.MaxLinkBits = 0
+	e.rt.CutBits = 0
+	e.rt.Faults = FaultStats{}
+	e.rt.Workers = e.rt.Workers[:0]
+	e.rt.Marks = e.rt.Marks[:0]
+	e.prevBits = e.stats.TotalBits
+	e.prevCut = e.stats.CutBits
+	e.prevFaults = e.faults
+	e.traceActive = len(e.live)
+}
+
+// emitTrace finalizes the scratch record for the iteration that just
+// delivered and hands it to the sink. span is 1 for a plain round and
+// the executed width of a quiet batch.
+func (e *engine) emitTrace(round, span int, wallNs int64) {
+	rt := &e.rt
+	rt.Round = round
+	rt.Span = span
+	rt.SentBits = e.stats.TotalBits - e.prevBits
+	rt.CutBits = e.stats.CutBits - e.prevCut
+	rt.Faults = FaultStats{
+		Drops:       e.faults.Drops - e.prevFaults.Drops,
+		Corruptions: e.faults.Corruptions - e.prevFaults.Corruptions,
+		Delays:      e.faults.Delays - e.prevFaults.Delays,
+		Duplicates:  e.faults.Duplicates - e.prevFaults.Duplicates,
+		Collisions:  e.faults.Collisions - e.prevFaults.Collisions,
+		Crashes:     e.faults.Crashes - e.prevFaults.Crashes,
+	}
+	rt.Active = e.traceActive
+	rt.Halted = e.traceActive - len(e.live)
+	rt.Workers = dispatchCounts(e.traceActive, e.workers, rt.Workers)
+	rt.WallNs = wallNs
+	e.sink.TraceRound(rt)
+}
+
+// collectMarks sweeps the phase markers stamped by this record's
+// stepped nodes into the scratch record, in ascending node id.
+func (e *engine) collectMarks() {
+	for _, i := range e.stepped {
+		ctx := e.ctxs[i]
+		if len(ctx.marks) > 0 {
+			e.rt.Marks = append(e.rt.Marks, ctx.marks...)
+			ctx.marks = ctx.marks[:0]
+		}
+	}
+}
+
+// dispatchCounts reproduces the engine's chunked fan-out shape: n nodes
+// over at most `workers` workers in contiguous chunks of ceil(n/w),
+// exactly as workerPool.run and ParallelFor assign them. Appended onto
+// buf[:0] so the caller's slice is reused across rounds.
+func dispatchCounts(n, workers int, buf []int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return append(buf, n)
+	}
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		buf = append(buf, hi-lo)
+	}
+	return buf
+}

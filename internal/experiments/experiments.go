@@ -39,6 +39,7 @@ var All = []Experiment{
 	{"E15", "semiring MM ablation: naive row-broadcast vs cube partition (DESIGN.md §9)", E15SemiringMM},
 	{"E16", "ℓ0-sketch connectivity: sketch Borůvka vs broadcast baseline (DESIGN.md §10)", E16SketchConnectivity},
 	{"E17", "fault-injection adversary: deterministic faults, hardened recovery, zero silent corruption (DESIGN.md §11)", E17FaultInjection},
+	{"E18", "round tracing: zero-interference observer, Stats reconciliation, per-phase profiles (DESIGN.md §14)", E18RoundTracing},
 	{"EA1", "ablations over the reproduction's design choices (DESIGN.md §4)", EA1Ablations},
 }
 

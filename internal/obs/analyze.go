@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Trace analysis: summing, reconciliation against the authoritative
+// Stats (the tracer as a second auditor of the paper's accounting),
+// per-phase profiles keyed on Ctx.Annotate marks, hot-spot ranking and
+// run diffing. All of it operates on the deterministic field set only —
+// WallNs and Workers never influence a verdict.
+
+// Totals aggregates a record stream.
+type Totals struct {
+	Records       int
+	Steps         int // engine rounds covered (sum of Span)
+	Rounds        int // communication rounds (Sends>0 || Delivered>0)
+	Sends         int
+	Delivered     int
+	SentBits      int64
+	DeliveredBits int64
+	CutBits       int64
+	MaxLinkBits   int
+	WallNs        int64 // wall time over all records (nondeterministic)
+	Faults        core.FaultStats
+}
+
+// Sum folds a trace's records into Totals.
+func Sum(tr *Trace) Totals {
+	var t Totals
+	for i := range tr.Rounds {
+		r := &tr.Rounds[i]
+		t.Records++
+		t.Steps += r.Span
+		if r.Sends > 0 || r.Delivered > 0 {
+			t.Rounds++
+		}
+		t.Sends += r.Sends
+		t.Delivered += r.Delivered
+		t.SentBits += r.SentBits
+		t.DeliveredBits += r.DeliveredBits
+		t.CutBits += r.CutBits
+		if r.MaxLinkBits > t.MaxLinkBits {
+			t.MaxLinkBits = r.MaxLinkBits
+		}
+		t.WallNs += r.WallNs
+		t.Faults.Drops += r.Faults.Drops
+		t.Faults.Corruptions += r.Faults.Corruptions
+		t.Faults.Delays += r.Faults.Delays
+		t.Faults.Duplicates += r.Faults.Duplicates
+		t.Faults.Collisions += r.Faults.Collisions
+		t.Faults.Crashes += r.Faults.Crashes
+	}
+	return t
+}
+
+// Reconcile checks every engine-trace/v1 identity between the summed
+// records and the footer's authoritative Stats (core/trace.go lists
+// them). It returns nil when the trace is a faithful second account of
+// the run, an error naming the first violated identity otherwise. A
+// truncated trace (nil Footer) cannot be reconciled.
+func Reconcile(tr *Trace) error {
+	if tr.Footer == nil {
+		return fmt.Errorf("obs: truncated trace (no end record); nothing to reconcile against")
+	}
+	sums := Sum(tr)
+	st := tr.Footer.Stats
+	if sums.SentBits != st.TotalBits {
+		return fmt.Errorf("obs: reconcile: sum(sent_bits) = %d, Stats.TotalBits = %d", sums.SentBits, st.TotalBits)
+	}
+	if sums.Rounds != st.Rounds {
+		return fmt.Errorf("obs: reconcile: communication rounds = %d, Stats.Rounds = %d", sums.Rounds, st.Rounds)
+	}
+	if sums.Steps != st.Steps {
+		return fmt.Errorf("obs: reconcile: sum(span) = %d, Stats.Steps = %d", sums.Steps, st.Steps)
+	}
+	if sums.MaxLinkBits != st.MaxLinkBits {
+		return fmt.Errorf("obs: reconcile: max(max_link_bits) = %d, Stats.MaxLinkBits = %d", sums.MaxLinkBits, st.MaxLinkBits)
+	}
+	if sums.CutBits != st.CutBits {
+		return fmt.Errorf("obs: reconcile: sum(cut_bits) = %d, Stats.CutBits = %d", sums.CutBits, st.CutBits)
+	}
+	switch f := tr.Footer.Faults; {
+	case f == nil:
+		if sums.Faults != (core.FaultStats{}) {
+			return fmt.Errorf("obs: reconcile: fault deltas %+v in a fault-free run", sums.Faults)
+		}
+	case sums.Faults != *f:
+		return fmt.Errorf("obs: reconcile: sum(fault deltas) = %+v, Result.Faults = %+v", sums.Faults, *f)
+	}
+	return nil
+}
+
+// Phase is one annotated segment of a run: it opens at the record
+// carrying a node-0 mark (the repo's convention for global phase
+// boundaries — node 0 is crash-exempt under every fault plan) and runs
+// until the next boundary. Records before the first boundary form the
+// implicit "start" phase.
+type Phase struct {
+	Name          string
+	StartRound    int
+	Records       int
+	Steps         int
+	Rounds        int // communication rounds
+	SentBits      int64
+	DeliveredBits int64
+	MaxLinkBits   int
+	WallNs        int64
+}
+
+// Phases splits a trace into its annotated phases. A trace with no
+// node-0 marks yields a single "start" phase covering everything; a
+// trace with none at all still profiles, it just cannot be broken down.
+func Phases(tr *Trace) []Phase {
+	var phases []Phase
+	cur := -1
+	ensure := func(name string, startRound int) {
+		phases = append(phases, Phase{Name: name, StartRound: startRound})
+		cur = len(phases) - 1
+	}
+	for i := range tr.Rounds {
+		r := &tr.Rounds[i]
+		for _, m := range r.Marks {
+			if m.Node == 0 {
+				ensure(m.Name, r.Round)
+				break // one boundary per record: sub-record splits don't exist
+			}
+		}
+		if cur < 0 {
+			ensure("start", r.Round)
+		}
+		p := &phases[cur]
+		p.Records++
+		p.Steps += r.Span
+		if r.Sends > 0 || r.Delivered > 0 {
+			p.Rounds++
+		}
+		p.SentBits += r.SentBits
+		p.DeliveredBits += r.DeliveredBits
+		if r.MaxLinkBits > p.MaxLinkBits {
+			p.MaxLinkBits = r.MaxLinkBits
+		}
+		p.WallNs += r.WallNs
+	}
+	return phases
+}
+
+// Hot is a record flagged by Hottest, with its position in the stream.
+type Hot struct {
+	Index int
+	core.RoundTrace
+}
+
+// Hottest returns the k records carrying the most sent bits, heaviest
+// first; ties break toward the earlier round so the ranking is
+// deterministic. Records with no traffic never rank.
+func Hottest(tr *Trace, k int) []Hot {
+	hot := make([]Hot, 0, len(tr.Rounds))
+	for i, r := range tr.Rounds {
+		if r.SentBits > 0 || r.Delivered > 0 {
+			hot = append(hot, Hot{Index: i, RoundTrace: r})
+		}
+	}
+	sort.SliceStable(hot, func(a, b int) bool {
+		if hot[a].SentBits != hot[b].SentBits {
+			return hot[a].SentBits > hot[b].SentBits
+		}
+		return hot[a].Round < hot[b].Round
+	})
+	if k < len(hot) {
+		hot = hot[:k]
+	}
+	return hot
+}
+
+// PhaseDiff pairs the phases of two runs positionally; a nil side means
+// the other run has more phases. Mismatched names at the same position
+// are preserved — the CLI surfaces them rather than guessing an
+// alignment.
+type PhaseDiff struct {
+	A, B *Phase
+}
+
+// Diff aligns two traces' phase profiles for comparison (sequential vs
+// parallel, fault-free vs faulty, two protocol tiers on one workload).
+func Diff(a, b *Trace) []PhaseDiff {
+	pa, pb := Phases(a), Phases(b)
+	n := len(pa)
+	if len(pb) > n {
+		n = len(pb)
+	}
+	out := make([]PhaseDiff, n)
+	for i := range out {
+		if i < len(pa) {
+			out[i].A = &pa[i]
+		}
+		if i < len(pb) {
+			out[i].B = &pb[i]
+		}
+	}
+	return out
+}

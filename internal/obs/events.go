@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventLog writes structured NDJSON events — one JSON object per line —
+// replacing bare log strings in long-running services (scenariod's
+// lease sweeps, worker lifecycles). It serializes concurrent emitters;
+// a write error is sticky and silences the log rather than failing the
+// service (events are diagnostics, not state).
+type EventLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewEventLog returns an EventLog writing to w, or nil when w is nil —
+// a nil *EventLog is a valid, free no-op emitter, so callers never
+// branch on whether events are enabled.
+func NewEventLog(w io.Writer) *EventLog {
+	if w == nil {
+		return nil
+	}
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event object as one NDJSON line. Safe on a nil
+// receiver.
+func (l *EventLog) Emit(event interface{}) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.err = l.enc.Encode(event)
+}
+
+// Err reports the sticky write error, if any. Safe on a nil receiver.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

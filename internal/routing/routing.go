@@ -123,6 +123,11 @@ func (rt *Router) submit(p *core.Proc, out []Msg, maxPayloadBits int) (*epoch, e
 // sends or receives. For Lenzen-balanced demands (Δ <= n) and bandwidth
 // b >= log2(n)+maxPayloadBits this is at most 4 rounds.
 func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, error) {
+	// Phase boundaries for round tracing (node 0 only — the repo's
+	// convention for global markers; free when the run is untraced).
+	if p.ID() == 0 {
+		p.Annotate("route:submit")
+	}
 	e, err := rt.submit(p, out, maxPayloadBits)
 	if err != nil {
 		return nil, err
@@ -165,6 +170,9 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 	}
 
 	// Phase 1: source -> intermediate (class c travels via node c mod n).
+	if p.ID() == 0 {
+		p.Annotate("route:spread")
+	}
 	var rd bits.Reader
 	for s := 0; s < subRounds; s++ {
 		for i := range perDst {
@@ -217,6 +225,9 @@ func (rt *Router) Route(p *core.Proc, out []Msg, maxPayloadBits int) ([]Msg, err
 	}
 
 	// Phase 2: intermediate -> destination.
+	if p.ID() == 0 {
+		p.Annotate("route:deliver")
+	}
 	recv := make([]Msg, 0, inDeg)
 	for s := 0; s < subRounds; s++ {
 		for i := range perDst {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // cellKey identifies a cell across runs: full coordinates plus the
@@ -70,6 +71,10 @@ type CellOptions struct {
 	RetryBackoffCap time.Duration
 	Sleep           func(time.Duration)
 	Cache           LegCache
+	// TraceDir mirrors RunOptions.TraceDir for the single-cell path:
+	// the engine leg (only) is traced into an engine-trace/v1 NDJSON
+	// file under the directory.
+	TraceDir string
 }
 
 // RunCell executes one cell's differential pair exactly as
@@ -106,6 +111,14 @@ func RunCell(c Cell, opt CellOptions) CellResult {
 	if faulty {
 		prevF := core.SetDefaultFaultFactory(opt.Faults.Factory())
 		defer core.SetDefaultFaultFactory(prevF)
+	}
+	if opt.TraceDir != "" {
+		ds := obs.NewDirSink(opt.TraceDir)
+		prevS := core.SetDefaultSinkFactory(ds.Factory())
+		defer func() {
+			core.SetDefaultSinkFactory(prevS)
+			ds.Close()
+		}()
 	}
 	core.SetDefaultParallelism(c.Engine.Parallelism)
 	e := runLegRetries(c, false, faulty, opt)

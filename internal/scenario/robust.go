@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // RunOptions extends the matrix run with the resilience knobs of the
@@ -47,6 +48,14 @@ type RunOptions struct {
 	// flow into the final report unchanged, so an interrupted run
 	// completes to a report identical to an uninterrupted one.
 	Ledger string
+	// TraceDir, when non-empty, archives an engine-trace/v1 NDJSON file
+	// per engine-leg run under the directory (obs.DirSink naming:
+	// trace-s<seed>.ndjson). Only the engine legs are traced — the
+	// oracle legs stay untraced, exactly as they stay clean under
+	// faults — and because tracing cannot change Outputs or Stats
+	// (core's traced-vs-untraced invariant), a traced matrix classifies
+	// identically to an untraced one.
+	TraceDir string
 }
 
 // RunMatrixOpts is the resilient matrix runner: guarded legs (panic
@@ -103,6 +112,14 @@ func RunMatrixOpts(m *Matrix, opt RunOptions) (*Report, error) {
 	if faulty {
 		prevF := core.SetDefaultFaultFactory(opt.Faults.Factory())
 		defer core.SetDefaultFaultFactory(prevF)
+	}
+	if opt.TraceDir != "" {
+		ds := obs.NewDirSink(opt.TraceDir)
+		prevS := core.SetDefaultSinkFactory(ds.Factory())
+		defer func() {
+			core.SetDefaultSinkFactory(prevS)
+			ds.Close()
+		}()
 	}
 	for _, eng := range m.Engines {
 		idx := make([]int, 0, len(pending))

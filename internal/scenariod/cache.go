@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -27,7 +28,17 @@ import (
 // equal bandwidth and dominates large cells, which is what makes a warm
 // cache cut matrix wall time (the BENCH scenariod_cache record).
 type Cache struct {
-	dir string
+	dir          string
+	hits, misses *obs.Counter // optional; see SetMetrics
+}
+
+// SetMetrics attaches hit/miss counters (typically
+// scenariod_cache_hits_total / scenariod_cache_misses_total on a
+// worker's registry). Every verified read counts one or the other —
+// corrupted or collided entries count as misses, matching their
+// degrade-to-recompute semantics.
+func (c *Cache) SetMetrics(hits, misses *obs.Counter) {
+	c.hits, c.misses = hits, misses
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -53,6 +64,17 @@ func (c *Cache) path(key string) string {
 // get loads and verifies an entry; any damage is a miss (and a
 // best-effort removal, so the slot heals on the next put).
 func (c *Cache) get(key string, out any) bool {
+	ok := c.getVerified(key, out)
+	switch {
+	case ok && c.hits != nil:
+		c.hits.Inc()
+	case !ok && c.misses != nil:
+		c.misses.Inc()
+	}
+	return ok
+}
+
+func (c *Cache) getVerified(key string, out any) bool {
 	path := c.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {

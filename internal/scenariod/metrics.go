@@ -1,0 +1,75 @@
+package scenariod
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics is the scenariod metrics inventory (DESIGN.md §14):
+// lease-lifecycle counters labeled by transition, completed-cell and
+// backoff-retry totals, and scrape-time gauges for queue depth, active
+// runs and average throughput. Registered on an obs.Registry and served
+// as Prometheus text at /metrics.
+type serverMetrics struct {
+	reg     *obs.Registry
+	byEvent map[string]*obs.Counter
+
+	cellsCompleted *obs.Counter
+	backoffRetries *obs.Counter
+}
+
+// newServerMetrics registers the inventory. The gauges read live server
+// state at scrape time; started anchors the cells-per-second average.
+func newServerMetrics(reg *obs.Registry, s *Server, started time.Time) *serverMetrics {
+	m := &serverMetrics{reg: reg, byEvent: map[string]*obs.Counter{}}
+	for _, ev := range []string{
+		EvGranted, EvHeartbeatLost, EvExpiredRequeued, EvExpiredQuarantined, EvInfraRequeued, EvCompleted,
+	} {
+		m.byEvent[ev] = reg.Counter(
+			fmt.Sprintf("scenariod_lease_events_total{event=%q}", ev),
+			"lease-lifecycle transitions by type")
+	}
+	m.cellsCompleted = reg.Counter("scenariod_cells_completed_total",
+		"cells that reached a final result (including quarantined)")
+	m.backoffRetries = reg.Counter("scenariod_backoff_retries_total",
+		"jobs returned to the pending pool behind a backoff gate (expiry or infra)")
+	reg.GaugeFunc("scenariod_queue_depth", "unfinished cells across all runs", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.unfinishedLocked())
+	})
+	reg.GaugeFunc("scenariod_runs_active", "submitted runs with unfinished cells", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		active := 0
+		for _, r := range s.runs {
+			if r.queue.Unfinished() > 0 {
+				active++
+			}
+		}
+		return float64(active)
+	})
+	reg.GaugeFunc("scenariod_cells_per_second", "completed cells per second of uptime (lifetime average)", func() float64 {
+		up := time.Since(started).Seconds()
+		if up <= 0 {
+			return 0
+		}
+		return float64(m.cellsCompleted.Value()) / up
+	})
+	return m
+}
+
+// observe folds one queue transition into the counters.
+func (m *serverMetrics) observe(ev QueueEvent) {
+	if c := m.byEvent[ev.Event]; c != nil {
+		c.Inc()
+	}
+	switch ev.Event {
+	case EvCompleted, EvExpiredQuarantined:
+		m.cellsCompleted.Inc()
+	case EvExpiredRequeued, EvInfraRequeued:
+		m.backoffRetries.Inc()
+	}
+}

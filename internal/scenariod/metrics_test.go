@@ -1,0 +1,169 @@
+package scenariod
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func requireLine(t *testing.T, text, line string) {
+	t.Helper()
+	if !strings.Contains(text, line+"\n") {
+		t.Errorf("metrics missing %q; got:\n%s", line, text)
+	}
+}
+
+// TestMetricsExpiredThenRequeuedLease drives a lease through
+// grant → expiry → requeue → regrant against a FakeClock and asserts
+// the transitions land in /metrics and as structured NDJSON events
+// with the run id, cell key, and attempt number.
+func TestMetricsExpiredThenRequeuedLease(t *testing.T) {
+	var events bytes.Buffer
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	s, err := New(Config{
+		Clock:  clock,
+		Events: obs.NewEventLog(&events),
+		Queue:  QueueConfig{LeaseTTL: time.Second, MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sub, err := s.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grant := s.Lease("w0")
+	if grant.Status != LeaseJob {
+		t.Fatalf("lease status %q", grant.Status)
+	}
+	key := grant.Job.Key
+
+	// Let the lease rot past its TTL; the sweep must requeue it.
+	clock.Advance(2 * time.Second)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("sweep finalized %d jobs, want 0 (requeue, not quarantine)", n)
+	}
+	// Past the backoff gate the same cell is leased again.
+	clock.Advance(time.Second)
+	grant2 := s.Lease("w1")
+	if grant2.Status != LeaseJob || grant2.Job.Key != key || grant2.Job.Attempt != 2 {
+		t.Fatalf("regrant = %+v, want attempt 2 of %s", grant2.Job, key)
+	}
+
+	text := scrape(t, ts.URL)
+	requireLine(t, text, `scenariod_lease_events_total{event="lease_granted"} 2`)
+	requireLine(t, text, `scenariod_lease_events_total{event="lease_expired_requeued"} 1`)
+	requireLine(t, text, `scenariod_lease_events_total{event="lease_expired_quarantined"} 0`)
+	requireLine(t, text, `scenariod_backoff_retries_total 1`)
+	requireLine(t, text, `scenariod_cells_completed_total 0`)
+	requireLine(t, text, `scenariod_queue_depth 2`)
+	requireLine(t, text, `scenariod_runs_active 1`)
+
+	// The event log carries the same story, structured: run id, cell
+	// key, worker, attempt — one JSON object per line.
+	var seen []QueueEvent
+	for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var ev QueueEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		seen = append(seen, ev)
+	}
+	want := []struct {
+		event, worker string
+		attempt       int
+	}{
+		{EvGranted, "w0", 1},
+		{EvExpiredRequeued, "w0", 1},
+		{EvGranted, "w1", 2},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(seen), seen, len(want))
+	}
+	for i, w := range want {
+		ev := seen[i]
+		if ev.Event != w.event || ev.Worker != w.worker || ev.Attempt != w.attempt ||
+			ev.Run != sub.RunID || ev.Key != key || ev.TS == "" {
+			t.Errorf("event %d = %+v, want %s by %s attempt %d on run %s", i, ev, w.event, w.worker, w.attempt, sub.RunID)
+		}
+	}
+}
+
+// TestMetricsPprofGate checks /debug/pprof is absent by default and
+// mounted behind EnablePprof.
+func TestMetricsPprofGate(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		s, err := New(Config{EnablePprof: enabled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		wantOK := enabled
+		if gotOK := resp.StatusCode == http.StatusOK; gotOK != wantOK {
+			t.Errorf("EnablePprof=%v: /debug/pprof/ status %d", enabled, resp.StatusCode)
+		}
+	}
+}
+
+// TestCacheMetrics checks the hit/miss counters on the shared
+// content-addressed cache.
+func TestCacheMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter("scenariod_cache_hits_total", "verified cache reads")
+	misses := reg.Counter("scenariod_cache_misses_total", "cache reads that fell through to recompute")
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMetrics(hits, misses)
+	type payload struct{ V int }
+	var out payload
+	if c.get("k", &out) {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("k", payload{7})
+	if !c.get("k", &out) || out.V != 7 {
+		t.Fatal("miss after put")
+	}
+	if hits.Value() != 1 || misses.Value() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits.Value(), misses.Value())
+	}
+}

@@ -38,6 +38,31 @@ var ErrLeaseLost = errors.New("scenariod: lease lost")
 // ErrUnknownJob is returned for operations on keys the queue never issued.
 var ErrUnknownJob = errors.New("scenariod: unknown job")
 
+// Queue event names: every lease-lifecycle transition the queue
+// observes. These are the `event` values of the server's structured
+// NDJSON event log and the label values of its lease metrics.
+const (
+	EvGranted            = "lease_granted"
+	EvHeartbeatLost      = "heartbeat_lost"
+	EvExpiredRequeued    = "lease_expired_requeued"
+	EvExpiredQuarantined = "lease_expired_quarantined"
+	EvInfraRequeued      = "infra_requeued"
+	EvCompleted          = "cell_completed"
+)
+
+// QueueEvent is one structured lease-lifecycle transition: which cell,
+// which worker held (or was granted) it, and the attempt number. TS and
+// Run are stamped by the server before the event reaches the log — the
+// queue itself is run-agnostic.
+type QueueEvent struct {
+	TS      string `json:"ts,omitempty"`
+	Event   string `json:"event"`
+	Run     string `json:"run,omitempty"`
+	Key     string `json:"key"`
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt"`
+}
+
 // Job is one durable per-cell unit of work.
 type Job struct {
 	Index int    // position in matrix-expansion order
@@ -101,6 +126,12 @@ type Queue struct {
 
 	// onDone, if set, fires exactly once per job as it completes.
 	onDone func(*Job)
+
+	// onEvent, if set, observes every lease-lifecycle transition
+	// (QueueEvent); like onDone it fires outside the lock, in
+	// transition order.
+	onEvent func(QueueEvent)
+	events  []QueueEvent
 }
 
 // NewQueue decomposes cells (in matrix-expansion order) into jobs.
@@ -120,6 +151,32 @@ func NewQueue(cells []scenario.Cell, cfg QueueConfig, clock Clock) *Queue {
 // SetOnDone installs the completion callback (the server's ledger
 // append + stream publish). Must be set before workers start.
 func (q *Queue) SetOnDone(fn func(*Job)) { q.onDone = fn }
+
+// SetOnEvent installs the lease-lifecycle observer (the server's
+// metrics + event log). Must be set before workers start.
+func (q *Queue) SetOnEvent(fn func(QueueEvent)) { q.onEvent = fn }
+
+// eventLocked queues a transition for delivery after the lock drops.
+func (q *Queue) eventLocked(event string, j *Job) {
+	if q.onEvent == nil {
+		return
+	}
+	q.events = append(q.events, QueueEvent{Event: event, Key: j.Key, Worker: j.Worker, Attempt: j.Attempts})
+}
+
+// takeEventsLocked drains the pending transition list.
+func (q *Queue) takeEventsLocked() []QueueEvent {
+	evs := q.events
+	q.events = nil
+	return evs
+}
+
+// emit delivers queued transitions outside the lock.
+func (q *Queue) emit(evs []QueueEvent) {
+	for _, ev := range evs {
+		q.onEvent(ev)
+	}
+}
 
 // Preload marks a cell completed before any leasing — the ledger-reload
 // path after a server restart. It does not fire onDone (the result is
@@ -158,10 +215,13 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 		q.seq++
 		j.LeaseID = fmt.Sprintf("%s#%d", worker, q.seq)
 		j.Deadline = now.Add(q.cfg.LeaseTTL)
+		q.eventLocked(EvGranted, j)
 		grant, ok = *j, true
 		break
 	}
+	evs := q.takeEventsLocked()
 	q.mu.Unlock()
+	q.emit(evs)
 	q.fire(finished)
 	return grant, ok
 }
@@ -171,16 +231,21 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 // ErrLeaseLost.
 func (q *Queue) Heartbeat(key, leaseID string) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.byKey[key]
 	if !ok {
+		q.mu.Unlock()
 		return ErrUnknownJob
 	}
 	now := q.clock.Now()
 	if j.State != JobLeased || j.LeaseID != leaseID || j.Deadline.Before(now) {
+		q.eventLocked(EvHeartbeatLost, j)
+		evs := q.takeEventsLocked()
+		q.mu.Unlock()
+		q.emit(evs)
 		return ErrLeaseLost
 	}
 	j.Deadline = now.Add(q.cfg.LeaseTTL)
+	q.mu.Unlock()
 	return nil
 }
 
@@ -208,6 +273,7 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 	case j.State == JobDone:
 		// idempotent duplicate
 	case res.Outcome == scenario.OutcomeInfra && j.Attempts < q.cfg.MaxAttempts:
+		q.eventLocked(EvInfraRequeued, j)
 		q.requeueLocked(j, now)
 	default:
 		res2 := res
@@ -215,10 +281,13 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 		j.State = JobDone
 		j.LeaseID = leaseID
 		q.done++
+		q.eventLocked(EvCompleted, j)
 		finished = append(finished, j)
 		recorded = true
 	}
+	evs := q.takeEventsLocked()
 	q.mu.Unlock()
+	q.emit(evs)
 	q.fire(finished)
 	return recorded, nil
 }
@@ -230,7 +299,9 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 func (q *Queue) Sweep() int {
 	q.mu.Lock()
 	finished := q.expireLocked(q.clock.Now())
+	evs := q.takeEventsLocked()
 	q.mu.Unlock()
+	q.emit(evs)
 	q.fire(finished)
 	return len(finished)
 }
@@ -244,6 +315,7 @@ func (q *Queue) expireLocked(now time.Time) []*Job {
 			continue
 		}
 		if j.Attempts >= q.cfg.MaxAttempts {
+			q.eventLocked(EvExpiredQuarantined, j)
 			res := q.quarantineResult(j)
 			j.Result = &res
 			j.State = JobDone
@@ -251,6 +323,7 @@ func (q *Queue) expireLocked(now time.Time) []*Job {
 			finished = append(finished, j)
 			continue
 		}
+		q.eventLocked(EvExpiredRequeued, j)
 		q.requeueLocked(j, now)
 	}
 	return finished

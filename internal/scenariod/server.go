@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -39,15 +41,30 @@ type Config struct {
 	Clock Clock
 	// Logf sinks operational messages; nil = log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics is the registry /metrics renders; nil builds a private
+	// one, reachable via Server.Metrics (pass a shared registry when
+	// embedding the server next to in-process workers so cache counters
+	// land on the same scrape).
+	Metrics *obs.Registry
+	// Events, if non-nil, receives one structured NDJSON object per
+	// lease-lifecycle transition (QueueEvent: ts, event, run, cell key,
+	// worker, attempt) — the replacement for bare sweep log strings.
+	// nil disables event logging at zero cost.
+	Events *obs.EventLog
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler — off by default, a flag on cmd/scenariod.
+	EnablePprof bool
 }
 
 // Server is the scenariod job-queue server. Create with New, expose
 // via Handler, drive lease expiry with StartSweeper (or Sweep in
 // tests), stop with Drain + Close.
 type Server struct {
-	cfg   Config
-	clock Clock
-	logf  func(string, ...any)
+	cfg     Config
+	clock   Clock
+	logf    func(string, ...any)
+	metrics *serverMetrics
+	events  *obs.EventLog
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -90,7 +107,12 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	s := &Server{cfg: cfg, clock: clock, logf: logf, runs: map[string]*run{}}
+	s := &Server{cfg: cfg, clock: clock, logf: logf, events: cfg.Events, runs: map[string]*run{}}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newServerMetrics(reg, s, time.Now())
 	if cfg.LedgerDir != "" {
 		if err := os.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
 			return nil, fmt.Errorf("scenariod: ledger dir: %w", err)
@@ -202,7 +224,23 @@ func (s *Server) newRun(id string, spec RunSpec, m *scenario.Matrix, led *scenar
 		subs:  map[int]chan StreamEvent{},
 	}
 	r.queue.SetOnDone(func(j *Job) { s.jobDone(r, j) })
+	r.queue.SetOnEvent(func(ev QueueEvent) { s.queueEvent(r, ev) })
 	return r
+}
+
+// Metrics returns the server's registry — the one /metrics renders.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// queueEvent is the lease-lifecycle observer: fold the transition into
+// the metrics, stamp it with the run id and a timestamp, and emit it as
+// one structured NDJSON line.
+func (s *Server) queueEvent(r *run, ev QueueEvent) {
+	s.metrics.observe(ev)
+	if s.events != nil {
+		ev.Run = r.id
+		ev.TS = s.clock.Now().UTC().Format(time.RFC3339Nano)
+		s.events.Emit(ev)
+	}
 }
 
 // jobDone is the exactly-once completion hook: persist the cell, then
@@ -640,5 +678,13 @@ func (s *Server) Handler() http.Handler {
 		s.Drain()
 		writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
 	})
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

@@ -27,6 +27,11 @@ type Worker struct {
 	Retries         int
 	RetryBackoff    time.Duration
 	RetryBackoffCap time.Duration
+	// TraceDir, when non-empty, archives an engine-trace/v1 NDJSON
+	// trace per engine-leg run under the directory (scenario
+	// CellOptions.TraceDir; files are named by cell seed, so a shared
+	// directory across workers stays collision-free).
+	TraceDir string
 	// PollEvery paces lease polls when the queue is empty; default 200ms.
 	PollEvery time.Duration
 	// MaxLeaseErrors bounds consecutive failed lease calls before the
@@ -153,6 +158,7 @@ func (w *Worker) execute(ctx context.Context, g JobGrant) scenario.CellResult {
 		Retries:         w.Retries,
 		RetryBackoff:    w.RetryBackoff,
 		RetryBackoffCap: w.RetryBackoffCap,
+		TraceDir:        w.TraceDir,
 	}
 	if w.Cache != nil {
 		opt.Cache = w.Cache

@@ -283,6 +283,11 @@ func runBoruvka(g *graph.Graph, classOf func(me, v int) int, classes int, agg Ag
 				return fmt.Errorf("sketch: stack exhausted after %d phases (class %d/%d)", phase, cls+1, classes)
 			}
 			phases = phase + 1
+			// Round-trace boundary: one mark per Borůvka phase, node 0
+			// only (the global-marker convention; free when untraced).
+			if me == 0 {
+				p.Annotatef("boruvka:phase %d (class %d)", phase, cls)
+			}
 
 			// 1. Leaders probe this phase's sampler of the current class.
 			// By the merge invariant, sampler `phase` of a leader's

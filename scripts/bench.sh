@@ -7,9 +7,11 @@
 # ("e16_sketch_connectivity"), the E17 fault-recovery records at n=64
 # ("e17_fault_recovery") and
 # the quick scenario matrix summary ("scenario_matrix"; full cell
-# records land in SCENARIOS_<date>.json; schema in DESIGN.md §8) and the
+# records land in SCENARIOS_<date>.json; schema in DESIGN.md §8), the
 # multicore scaling curve ("engine_scaling": 1/2/4/8-worker ns and
-# speedups for the engine and scenario-shard paths; see DESIGN.md §13).
+# speedups for the engine and scenario-shard paths; see DESIGN.md §13)
+# and the tracing tax ("trace_overhead": none/recorder/ndjson legs of
+# BenchmarkTraceOverhead with overhead ratios; see DESIGN.md §14).
 # Compare files across PRs to see the trend (ns/op and allocs/op per
 # benchmark, cells and divergences per matrix, the MM cost crossover).
 #
@@ -34,7 +36,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ ./internal/scenario/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ ./internal/scenario/ ./internal/obs/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
@@ -106,7 +108,42 @@ append_record() {
   printf '%s\n  %s\n]\n' "$sep" "$record" >> "$out"
 }
 
+# Fold the tracing tax ("trace_overhead"): the three legs of
+# BenchmarkTraceOverhead (gossip N=256 — the same shape as the
+# engine_scaling series, so the "none" leg doubles as the
+# ≤1%-overhead-when-disabled tripwire for the nil-Sink engine), with
+# recorder/ndjson wall and alloc overheads relative to none. Parsed
+# from the main bench output above, so it records the same run.
+fold_trace() {
+  local trace
+  trace="$(awk '
+    /^BenchmarkTraceOverhead\// {
+      split($1, a, "/")
+      leg = a[2]; sub(/-.*$/, "", leg)
+      ns[leg] = $3
+      for (i = 3; i <= NF; i++)
+        if ($(i+1) == "allocs/op") allocs[leg] = $i
+    }
+    END {
+      out = ""
+      for (leg in ns) {
+        out = out sprintf("\"%s_ns\": %s, ", leg, ns[leg])
+        if (leg in allocs) out = out sprintf("\"%s_allocs\": %s, ", leg, allocs[leg])
+      }
+      if ("none" in ns)
+        for (leg in ns)
+          if (leg != "none")
+            out = out sprintf("\"%s_overhead\": %.3f, ", leg, ns[leg] / ns["none"])
+      sub(/, $/, "", out)
+      print out
+    }' "$tmp")"
+  [[ -z "$trace" ]] && return 0
+  append_record "{\"date\": \"${date}\", \"name\": \"trace_overhead\", ${trace}}"
+  echo "folded trace overhead legs into $out"
+}
+
 fold_scaling
+fold_trace
 
 # Run the full E15 semiring MM ablation (the quick sweep stops at n=16;
 # the acceptance point is n=64) and fold its n=64 record line into the
