@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// A synthetic 2x timing regression on a gated record must exit nonzero
+// even under the widened low-iteration noise floor, and the same pair
+// must pass when the record is not on the gate list.
+func TestSyntheticRegressionGates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", `[
+  {"date": "20260101", "name": "fleet_throughput", "cells": 8, "w1_ns": 100000000, "w1_cells_per_sec": 80.0},
+  {"date": "20260101", "name": "BenchmarkFree", "iterations": 3, "ns_per_op": 1000}
+]`)
+	newer := writeSnap(t, dir, "new.json", `[
+  {"date": "20260102", "name": "fleet_throughput", "cells": 8, "w1_ns": 200000000, "w1_cells_per_sec": 40.0},
+  {"date": "20260102", "name": "BenchmarkFree", "iterations": 3, "ns_per_op": 2000}
+]`)
+
+	code, out, _ := runDiff(t, old, newer)
+	if code != 1 {
+		t.Fatalf("2x gated regression exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "*fleet_throughput") {
+		t.Fatalf("missing gated regression row:\n%s", out)
+	}
+	// BenchmarkFree doubled too, but raw benchmarks never gate: with
+	// fleet_throughput off the list the run is clean.
+	code, out, _ = runDiff(t, "-gate", "engine_scaling", old, newer)
+	if code != 0 {
+		t.Fatalf("ungated pair exited %d, want 0\n%s", code, out)
+	}
+}
+
+// Within-threshold drift (including low-iteration timing noise under
+// the 3x-widened floor) stays clean; higher-is-better fields regress
+// downward, not upward.
+func TestThresholdsAndDirections(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", `[
+  {"date": "20260101", "name": "fleet_throughput", "w1_ns": 100000000, "speedup_w4": 2.0},
+  {"date": "20260101", "name": "BenchmarkNoisy", "iterations": 3, "ns_per_op": 1000}
+]`)
+	newer := writeSnap(t, dir, "new.json", `[
+  {"date": "20260102", "name": "fleet_throughput", "w1_ns": 160000000, "speedup_w4": 4.0},
+  {"date": "20260102", "name": "BenchmarkNoisy", "iterations": 3, "ns_per_op": 1600}
+]`)
+	// +60% wall under <10 iterations sits inside the 3x-widened 25%
+	// floor; the speedup doubling is an improvement, not a regression.
+	code, out, _ := runDiff(t, old, newer)
+	if code != 0 {
+		t.Fatalf("within-floor drift exited %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Fatalf("speedup doubling not reported as improvement:\n%s", out)
+	}
+	// A halved speedup is a gated regression even though every timing
+	// field held still.
+	worse := writeSnap(t, dir, "worse.json", `[
+  {"date": "20260103", "name": "fleet_throughput", "w1_ns": 100000000, "speedup_w4": 1.0}
+]`)
+	code, out, _ = runDiff(t, old, worse)
+	if code != 1 || !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("halved speedup exited %d, want 1\n%s", code, out)
+	}
+}
+
+// A gated record that disappears from the newer snapshot fails the
+// run; a record appearing for the first time does not.
+func TestGoneAndNewRecords(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", `[
+  {"date": "20260101", "name": "trace_overhead", "none_ns": 1000}
+]`)
+	newer := writeSnap(t, dir, "new.json", `[
+  {"date": "20260102", "name": "fleet_throughput", "w1_ns": 100}
+]`)
+	code, out, _ := runDiff(t, old, newer)
+	if code != 1 || !strings.Contains(out, "gone") {
+		t.Fatalf("vanished gated record exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("first-appearance record not marked new:\n%s", out)
+	}
+	code, _, _ = runDiff(t, newer, newer)
+	if code != 0 {
+		t.Fatalf("identical snapshots exited %d, want 0", code)
+	}
+}
+
+// The per-rate e17 records match by (name, rate), so a regression at
+// one drop rate is attributed to that rate, not smeared across all
+// three records sharing the name.
+func TestRateDisambiguation(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", `[
+  {"date": "20260101", "name": "e17_fault_recovery", "rate": 0.005, "bits": 1000, "bit_overhead": 1.02},
+  {"date": "20260101", "name": "e17_fault_recovery", "rate": 0.01, "bits": 2000, "bit_overhead": 1.04}
+]`)
+	newer := writeSnap(t, dir, "new.json", `[
+  {"date": "20260102", "name": "e17_fault_recovery", "rate": 0.005, "bits": 1000, "bit_overhead": 1.02},
+  {"date": "20260102", "name": "e17_fault_recovery", "rate": 0.01, "bits": 9000, "bit_overhead": 1.04}
+]`)
+	code, out, _ := runDiff(t, old, newer)
+	if code != 1 {
+		t.Fatalf("per-rate regression exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "e17_fault_recovery@rate=0.01") {
+		t.Fatalf("regression not attributed to rate 0.01:\n%s", out)
+	}
+	if strings.Contains(out, "e17_fault_recovery@rate=0.005\tbits") && strings.Contains(out, "REGRESSED\n") &&
+		strings.Count(out, "REGRESSED") != 1 {
+		t.Fatalf("regression smeared across rates:\n%s", out)
+	}
+}
+
+// The committed snapshot pair is the CI input: it must load, diff and
+// exit clean — the real-world half of the synthetic-regression check.
+func TestCommittedSnapshotsPassGate(t *testing.T) {
+	old, new := "../../BENCH_20260730.json", "../../BENCH_20260807.json"
+	for _, p := range []string{old, new} {
+		if _, err := os.Stat(p); err != nil {
+			t.Skipf("snapshot %s not present", p)
+		}
+	}
+	code, out, errb := runDiff(t, old, new)
+	if code != 0 {
+		t.Fatalf("committed pair exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "gated regressions: 0") {
+		t.Fatalf("missing clean summary:\n%s", out)
+	}
+}
+
+// Malformed input and missing operands are usage errors (exit 2), not
+// crashes or silent passes.
+func TestUsageAndLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeSnap(t, dir, "bad.json", `{"not": "an array"}`)
+	good := writeSnap(t, dir, "good.json", `[{"date": "x", "name": "a", "v": 1}]`)
+	if code, _, _ := runDiff(t, good); code != 2 {
+		t.Fatal("single operand accepted")
+	}
+	if code, _, errb := runDiff(t, good, bad); code != 2 || errb == "" {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

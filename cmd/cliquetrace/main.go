@@ -1,20 +1,27 @@
 // Cliquetrace records and analyzes engine-trace/v1 round traces
 // (internal/obs): per-phase rounds·bits profiles, reconciliation of the
 // trace against the run's authoritative Stats, hot-round/hot-link
-// ranking, and a diff of two runs' phase profiles.
+// ranking, and a diff of two runs' phase profiles. The fleet
+// subcommand does the same for fleet-trace/v1 cell-lifecycle spans: it
+// folds the span records of a completed scenariod run ledger, renders
+// the throughput accounting (cells/sec, leg latencies, worker
+// utilization) and the critical path, and reconciles the spans against
+// the run's canonical report.
 //
 //	cliquetrace record    -family gnp -n 64 -engine par4 -protocol connectivity -dir traces
 //	cliquetrace summarize traces/trace-s2.ndjson
 //	cliquetrace diff      seq.ndjson par.ndjson
+//	cliquetrace fleet     ledgers/run-0.jsonl
 //
-// summarize exits 0 only when the trace reconciles: every identity
-// between the summed round records and the footer's Stats (TotalBits,
-// Rounds, Steps, MaxLinkBits, CutBits, fault counters) must hold
-// exactly. A reconciliation failure means the trace is not a faithful
-// second account of the run and exits 1.
+// summarize and fleet exit 0 only when their trace reconciles: every
+// identity between the folded records and the authoritative account
+// (engine Stats; the canonical report) must hold exactly. A
+// reconciliation failure means the trace is not a faithful second
+// account of the run and exits 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/scenario"
+	"repro/internal/scenariod"
 )
 
 func main() {
@@ -39,6 +47,8 @@ func main() {
 		os.Exit(summarize(os.Args[2:]))
 	case "diff":
 		os.Exit(diff(os.Args[2:]))
+	case "fleet":
+		os.Exit(fleet(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -49,7 +59,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cliquetrace record    [-family NAME] [-n N] [-engine NAME] [-protocol NAME] [-seed S] [-dir DIR]
   cliquetrace summarize [-top K] TRACE.ndjson
-  cliquetrace diff      A.ndjson B.ndjson`)
+  cliquetrace diff      A.ndjson B.ndjson
+  cliquetrace fleet     [-top K] RUN-LEDGER.jsonl`)
 }
 
 // record runs one scenario cell's differential pair with the engine leg
@@ -150,9 +161,13 @@ func printTrace(path string, tr *obs.Trace, top int) {
 	w.Flush()
 
 	fmt.Printf("hot rounds (by sent bits, top %d):\n", top)
-	for _, h := range obs.Hottest(tr, top) {
-		fmt.Printf("  round %d: sends=%d sent-bits=%d max-link-bits=%d active=%d\n",
-			h.Round, h.Sends, h.SentBits, h.MaxLinkBits, h.Active)
+	if hot, err := obs.Hottest(tr, top); err != nil {
+		fmt.Printf("  (none: %v)\n", err)
+	} else {
+		for _, h := range hot {
+			fmt.Printf("  round %d: sends=%d sent-bits=%d max-link-bits=%d active=%d\n",
+				h.Round, h.Sends, h.SentBits, h.MaxLinkBits, h.Active)
+		}
 	}
 	fmt.Printf("hot links (by per-round max link load, top %d):\n", top)
 	for _, h := range hottestLinks(tr, top) {
@@ -210,10 +225,15 @@ func diff(args []string) int {
 		sa.MaxLinkBits, sb.MaxLinkBits,
 		time.Duration(sa.WallNs), time.Duration(sb.WallNs))
 
+	diffs, err := obs.Diff(ta, tb)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquetrace: %v\n", err)
+		return 1
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "phase\trounds A\trounds B\tΔrounds\tbits A\tbits B\tΔbits\twall A\twall B")
 	same := true
-	for _, d := range obs.Diff(ta, tb) {
+	for _, d := range diffs {
 		name, aR, bR, aBits, bBits := "", -1, -1, int64(-1), int64(-1)
 		var aW, bW int64
 		if d.A != nil {
@@ -239,5 +259,131 @@ func diff(args []string) int {
 	} else {
 		fmt.Println("deterministic profile: DIFFERS (see Δ columns)")
 	}
+	return 0
+}
+
+// fleet folds a completed scenariod run ledger's fleet-trace/v1 span
+// records, prints the throughput accounting and critical path, and
+// reconciles the spans against the run's canonical report — rebuilt
+// from the same ledger, so the check needs no live server. Exits 1 on
+// an incomplete run, a span-stream violation, or a reconcile failure.
+func fleet(args []string) int {
+	fs := flag.NewFlagSet("cliquetrace fleet", flag.ExitOnError)
+	top := fs.Int("top", 5, "how many critical-path cells to render")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return 2
+	}
+	path := fs.Arg(0)
+	_, recs, err := scenario.LoadLedger(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquetrace: %v\n", err)
+		return 1
+	}
+
+	// Rebuild the canonical report the way the server does: spec record
+	// → matrix, cell records → results in matrix-expansion order.
+	var spec scenariod.RunSpec
+	haveSpec := false
+	results := map[string]scenario.CellResult{}
+	b := obs.NewFleetBuilder()
+	for _, rec := range recs {
+		switch rec.T {
+		case scenario.RecSpec:
+			if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+				fmt.Fprintf(os.Stderr, "cliquetrace: bad spec record: %v\n", err)
+				return 1
+			}
+			haveSpec = true
+		case scenario.RecCell:
+			if rec.Cell != nil {
+				results[rec.Key] = *rec.Cell
+			}
+		case scenario.RecSpan:
+			if err := b.Observe(obs.SpanEvent{
+				TMs: rec.TMs, Event: rec.Event, Key: rec.Key, Worker: rec.Worker,
+				Attempt: rec.Attempt, Outcome: rec.Outcome, ExecMs: rec.ExecMs, Cells: rec.Cells,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "cliquetrace: span stream: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if !haveSpec {
+		fmt.Fprintln(os.Stderr, "cliquetrace: ledger has no spec record (not a scenariod run ledger)")
+		return 1
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquetrace: %v\n", err)
+		return 1
+	}
+	cells := m.Expand()
+	ordered := make([]scenario.CellResult, 0, len(cells))
+	var outcomes []obs.CellOutcome
+	for _, c := range cells {
+		cr, ok := results[c.Key()]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cliquetrace: run incomplete: cell %s has no result (%d/%d done)\n",
+				c.Key(), len(results), len(cells))
+			return 1
+		}
+		ordered = append(ordered, cr)
+		outcomes = append(outcomes, obs.CellOutcome{Key: c.Key(), Outcome: cr.Outcome})
+	}
+	rep := scenario.BuildReport(m, ordered, spec.FaultSpec().String())
+	rep.Canonicalize()
+
+	ft := b.Fleet()
+	sum := obs.Summarize(ft)
+	fmt.Printf("fleet: %s (%s)\n", path, obs.FleetTraceVersion)
+	fmt.Printf("run: cells=%d attempts=%d requeues=%d quarantines=%d abandoned=%d resumes=%d\n",
+		sum.Cells, sum.Attempts, sum.Requeues, sum.Quarantines, sum.Abandoned, sum.Resumes)
+	var outKeys []string
+	for o := range sum.Outcomes {
+		outKeys = append(outKeys, o)
+	}
+	sort.Strings(outKeys)
+	for _, o := range outKeys {
+		fmt.Printf("  outcome %s: %d\n", o, sum.Outcomes[o])
+	}
+	fmt.Printf("throughput: wall=%dms cells/sec=%.2f\n", sum.WallMs, sum.CellsPerSec)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "leg\tcount\tmin\tp50\tp90\tp99\tmax\tmean")
+	for _, row := range []struct {
+		name string
+		d    obs.DurationStats
+	}{{"queued", sum.QueueWait}, {"executing", sum.Exec}, {"end-to-end", sum.EndToEnd}} {
+		fmt.Fprintf(w, "%s\t%d\t%dms\t%dms\t%dms\t%dms\t%dms\t%.1fms\n",
+			row.name, row.d.Count, row.d.MinMs, row.d.P50Ms, row.d.P90Ms, row.d.P99Ms, row.d.MaxMs, row.d.MeanMs)
+	}
+	w.Flush()
+	if len(sum.Workers) > 0 {
+		fmt.Println("workers:")
+		for _, wu := range sum.Workers {
+			fmt.Printf("  %s: attempts=%d busy=%dms utilization=%.1f%%\n",
+				wu.Worker, wu.Attempts, wu.BusyMs, 100*wu.Utilization)
+		}
+	}
+
+	crit := obs.CriticalPath(ft, *top)
+	fmt.Printf("critical path (last finishers, top %d):\n", *top)
+	for i, sp := range crit {
+		fmt.Printf("  %d. %s: e2e=%dms outcome=%s attempts=%d\n", i+1, sp.Key, sp.E2EMs(), sp.Outcome, len(sp.Attempts))
+		if i == 0 {
+			for _, a := range sp.Attempts {
+				fmt.Printf("     attempt %d (%s): queued=%dms leased=%dms exec=%dms submit=%dms end=%s\n",
+					a.Attempt, a.Worker, a.QueuedMs, a.EndMs-a.GrantMs, a.ExecMs, a.SubmitMs, a.End)
+			}
+		}
+	}
+
+	if err := obs.ReconcileFleet(ft, outcomes); err != nil {
+		fmt.Printf("reconcile: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Printf("reconcile: OK — %d spans match the canonical report exactly (%d attempts == %d lease grants)\n",
+		len(ft.Spans), sum.Attempts, ft.Grants)
 	return 0
 }

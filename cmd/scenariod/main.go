@@ -51,8 +51,8 @@ func usage() {
   scenariod serve  [-addr HOST:PORT] [-ledger-dir DIR] [-lease-ttl D] [-max-attempts N]
                    [-backoff D] [-backoff-cap D] [-max-queued N] [-sweep-every D] [-drain-grace D]
                    [-events PATH] [-pprof]
-  scenariod worker [-server URL] [-name ID] [-cache DIR] [-timeout D] [-retries N] [-poll D]
-                   [-metrics-addr HOST:PORT] [-pprof] [-trace-dir DIR]`)
+  scenariod worker [-server URL] [-name ID] [-cache DIR] [-cache-max-bytes N] [-timeout D]
+                   [-retries N] [-poll D] [-metrics-addr HOST:PORT] [-pprof] [-trace-dir DIR]`)
 }
 
 func serve(args []string) int {
@@ -149,6 +149,7 @@ func worker(args []string) int {
 		server      = fs.String("server", "http://127.0.0.1:8437", "scenariod base URL")
 		name        = fs.String("name", "", "worker id (default host-pid)")
 		cacheDir    = fs.String("cache", "", "content-addressed cache directory shared across workers (\"\" = no cache)")
+		cacheMax    = fs.Int64("cache-max-bytes", 0, "bound the cache directory; puts over the bound evict entries oldest-first (0 = unbounded)")
 		timeout     = fs.Duration("timeout", 0, "per-leg deadline (0 = none)")
 		retries     = fs.Int("retries", 0, "quarantine retries for infra-failed legs")
 		backoff     = fs.Duration("retry-backoff", 0, "base pause before quarantine retries (0 = immediate)")
@@ -176,10 +177,8 @@ func worker(args []string) int {
 			fmt.Fprintf(os.Stderr, "scenariod worker: %v\n", err)
 			return 1
 		}
-		cache.SetMetrics(
-			reg.Counter("scenariod_cache_hits_total", "verified cache reads"),
-			reg.Counter("scenariod_cache_misses_total", "cache reads that fell through to recompute"),
-		)
+		cache.SetMaxBytes(*cacheMax)
+		cache.RegisterMetrics(reg)
 	}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()

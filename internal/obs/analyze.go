@@ -1,10 +1,24 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
+)
+
+// Typed analysis errors. Hottest and Diff used to return silently
+// useless answers on degenerate traces (an empty ranking, a diff of
+// nothing); callers that forward their output now get a typed refusal
+// to branch on instead.
+var (
+	// ErrEmptyTrace: the trace has no round records at all (a header-only
+	// or truncated-to-nothing file).
+	ErrEmptyTrace = errors.New("obs: trace has no round records")
+	// ErrNoTraffic: the trace has rounds but none with communication, so
+	// there is no traffic to rank.
+	ErrNoTraffic = errors.New("obs: trace has no communication rounds")
 )
 
 // Trace analysis: summing, reconciliation against the authoritative
@@ -156,13 +170,25 @@ type Hot struct {
 
 // Hottest returns the k records carrying the most sent bits, heaviest
 // first; ties break toward the earlier round so the ranking is
-// deterministic. Records with no traffic never rank.
-func Hottest(tr *Trace, k int) []Hot {
+// deterministic. Records with no traffic never rank. An empty trace is
+// ErrEmptyTrace, a trace with rounds but no communication ErrNoTraffic,
+// and k < 1 a plain error — all conditions the old signature rendered
+// as a silent empty ranking.
+func Hottest(tr *Trace, k int) ([]Hot, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("obs: Hottest: k = %d, want >= 1", k)
+	}
+	if len(tr.Rounds) == 0 {
+		return nil, ErrEmptyTrace
+	}
 	hot := make([]Hot, 0, len(tr.Rounds))
 	for i, r := range tr.Rounds {
 		if r.SentBits > 0 || r.Delivered > 0 {
 			hot = append(hot, Hot{Index: i, RoundTrace: r})
 		}
+	}
+	if len(hot) == 0 {
+		return nil, ErrNoTraffic
 	}
 	sort.SliceStable(hot, func(a, b int) bool {
 		if hot[a].SentBits != hot[b].SentBits {
@@ -173,7 +199,7 @@ func Hottest(tr *Trace, k int) []Hot {
 	if k < len(hot) {
 		hot = hot[:k]
 	}
-	return hot
+	return hot, nil
 }
 
 // PhaseDiff pairs the phases of two runs positionally; a nil side means
@@ -186,7 +212,17 @@ type PhaseDiff struct {
 
 // Diff aligns two traces' phase profiles for comparison (sequential vs
 // parallel, fault-free vs faulty, two protocol tiers on one workload).
-func Diff(a, b *Trace) []PhaseDiff {
+// Either side empty is ErrEmptyTrace (wrapped, naming the side): a diff
+// against nothing used to render as one-sided rows that read like the
+// other run had phases the first lacked. Mismatched round or phase
+// counts are fine — that asymmetry is the diff's output, not an error.
+func Diff(a, b *Trace) ([]PhaseDiff, error) {
+	if len(a.Rounds) == 0 {
+		return nil, fmt.Errorf("first trace: %w", ErrEmptyTrace)
+	}
+	if len(b.Rounds) == 0 {
+		return nil, fmt.Errorf("second trace: %w", ErrEmptyTrace)
+	}
 	pa, pb := Phases(a), Phases(b)
 	n := len(pa)
 	if len(pb) > n {
@@ -201,5 +237,5 @@ func Diff(a, b *Trace) []PhaseDiff {
 			out[i].B = &pb[i]
 		}
 	}
-	return out
+	return out, nil
 }

@@ -170,7 +170,10 @@ func TestPhasesAndHottest(t *testing.T) {
 		t.Errorf("steady phase starts at round %d, want 6", phases[1].StartRound)
 	}
 
-	hot := Hottest(tr, 3)
+	hot, err := Hottest(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hot) != 3 {
 		t.Fatalf("Hottest returned %d records", len(hot))
 	}
@@ -186,7 +189,10 @@ func TestDiffPairsPhases(t *testing.T) {
 	a, b := &Recorder{}, &Recorder{}
 	runGossipTraced(t, 32, 1, a)
 	runGossipTraced(t, 32, 4, b)
-	diffs := Diff(a.Trace(), b.Trace())
+	diffs, err := Diff(a.Trace(), b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(diffs) != 2 {
 		t.Fatalf("diff has %d phase pairs, want 2", len(diffs))
 	}

@@ -422,9 +422,9 @@ func ExchangeUnicast(p *core.Proc, perDst []*bits.Buffer, rounds int) ([]*bits.B
 	b := p.Bandwidth()
 	acc := make([]*bits.Buffer, p.N())
 	for r := 0; r < rounds; r++ {
-		// Chunks are cut on the fly: one pooled send buffer per message,
-		// released as soon as it is staged (the frozen delivery view keeps
-		// the bits alive).
+		// Chunks are cut on the fly into arena buffers (Ctx.Msg): staged
+		// in the same Step, sealed by Send, recycled by the engine one
+		// round after delivery — never Released by this sender.
 		for d, buf := range perDst {
 			off := r * b
 			if buf == nil || off >= buf.Len() {
@@ -434,14 +434,15 @@ func ExchangeUnicast(p *core.Proc, perDst []*bits.Buffer, rounds int) ([]*bits.B
 			if end > buf.Len() {
 				end = buf.Len()
 			}
-			chunk := bits.Get(end - off)
+			chunk := p.Msg()
 			if err := chunk.AppendRange(buf, off, end); err != nil {
+				chunk.Release()
 				return nil, err
 			}
 			if err := p.Send(d, chunk); err != nil {
+				chunk.Release()
 				return nil, err
 			}
-			chunk.Release()
 		}
 		in := p.Next()
 		for src, msg := range in {

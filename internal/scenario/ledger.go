@@ -28,8 +28,9 @@ const LedgerSchema = "scenario-ledger/v2"
 const (
 	RecCell      = "cell"  // a completed cell: the unit of resume
 	RecSpec      = "spec"  // scenariod: the submitted run spec, for server reload
-	RecLease     = "lease" // scenariod: a lease grant to a worker
+	RecLease     = "lease" // scenariod: a lease grant to a worker (superseded by span records)
 	RecHeartbeat = "hb"    // scenariod: a worker heartbeat on a live lease
+	RecSpan      = "span"  // scenariod: a fleet-trace/v1 cell-lifecycle span event (DESIGN.md §15)
 )
 
 // LedgerInfo binds a ledger file to the run that produced it. Resuming
@@ -62,6 +63,19 @@ type LedgerRecord struct {
 	Worker     string `json:"worker,omitempty"`
 	Attempt    int    `json:"attempt,omitempty"`
 	DeadlineMs int64  `json:"deadline_ms,omitempty"`
+
+	// Span records (T == RecSpan) interleave the fleet-trace/v1
+	// cell-lifecycle stream with the resume payload: Event names the
+	// transition, TMs stamps it with the service clock (epoch ms),
+	// Outcome carries the terminal cell outcome on completion events,
+	// ExecMs the worker-reported executing-leg duration on result
+	// submissions, and Cells the declared cell count on run-level
+	// events. All omitempty, so pre-span ledgers re-verify unchanged.
+	Event   string `json:"event,omitempty"`
+	TMs     int64  `json:"t_ms,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	ExecMs  int64  `json:"exec_ms,omitempty"`
+	Cells   int    `json:"cells,omitempty"`
 
 	// Spec carries the scenariod run spec verbatim for server reload.
 	Spec json.RawMessage `json:"spec,omitempty"`

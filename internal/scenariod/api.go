@@ -95,11 +95,19 @@ type HeartbeatRequest struct {
 	LeaseID string `json:"lease_id"`
 }
 
-// ResultRequest submits a completed cell.
+// ResultRequest submits a completed cell. Worker, Attempt and ExecMs
+// feed the fleet-trace/v1 span stream: which worker executed the
+// attempt and how long the executing leg (cell compute, as measured on
+// the worker) took — the one leg duration the server cannot observe
+// itself. All optional; old workers simply produce spans without an
+// executing leg.
 type ResultRequest struct {
 	RunID   string              `json:"run_id"`
 	Key     string              `json:"key"`
 	LeaseID string              `json:"lease_id"`
+	Worker  string              `json:"worker,omitempty"`
+	Attempt int                 `json:"attempt,omitempty"`
+	ExecMs  int64               `json:"exec_ms,omitempty"`
 	Cell    scenario.CellResult `json:"cell"`
 }
 

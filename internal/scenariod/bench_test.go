@@ -1,0 +1,68 @@
+package scenariod
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchSpec is an 8-cell quick slice with enough independent cells to
+// keep 8 workers busy: 2 families x 2 protocols x 2 sizes.
+func benchSpec() RunSpec {
+	return RunSpec{Quick: true, BaseSeed: 11, Families: "gnp,components",
+		Protocols: "triangle,connectivity", Engines: "par4", Sizes: []int{16, 24}}
+}
+
+// BenchmarkFleetThroughput drives the whole service path — submit,
+// lease, execute, stream — through an in-process server with 1/2/4/8
+// resident workers, and reports end-to-end cells per second (submit to
+// final stream event). scripts/bench.sh folds the sweep into BENCH as
+// the "fleet_throughput" record; cmd/benchdiff tracks it across
+// snapshots. Real scaling needs GOMAXPROCS >= the worker count.
+func BenchmarkFleetThroughput(b *testing.B) {
+	m, err := benchSpec().Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := len(m.Expand())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			var busy time.Duration
+			for i := 0; i < b.N; i++ {
+				s, err := New(Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(s.Handler())
+				client := NewClient(ts.URL)
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan struct{})
+				for w := 0; w < workers; w++ {
+					go func(w int) {
+						wk := &Worker{Client: client, Name: fmt.Sprintf("bench-w%d", w), PollEvery: time.Millisecond}
+						wk.Run(ctx)
+						done <- struct{}{}
+					}(w)
+				}
+				start := time.Now()
+				sub, err := client.Submit(benchSpec())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := client.Stream(sub.RunID, func(StreamEvent) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+				busy += time.Since(start)
+				cancel()
+				for w := 0; w < workers; w++ {
+					<-done
+				}
+				ts.Close()
+				s.Close()
+			}
+			b.ReportMetric(float64(cells*b.N)/busy.Seconds(), "cells/s")
+		})
+	}
+}

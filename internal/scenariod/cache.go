@@ -4,9 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -30,6 +35,13 @@ import (
 type Cache struct {
 	dir          string
 	hits, misses *obs.Counter // optional; see SetMetrics
+
+	// maxBytes, when > 0, bounds the cache directory: every put that
+	// leaves the directory over the bound evicts entries oldest-first
+	// (by modification time) until it fits. evictMu serializes
+	// in-process evictions; cross-process racers at worst re-delete.
+	evictMu  sync.Mutex
+	maxBytes int64
 }
 
 // SetMetrics attaches hit/miss counters (typically
@@ -56,9 +68,135 @@ type cacheEntry struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
+// path names an entry file: the entry kind (the key's "oracle"/"graph"
+// prefix) in clear, then the SHA-256 of the full logical key. The kind
+// prefix lets the size accounting classify entries from a directory
+// listing alone, without opening files.
 func (c *Cache) path(key string) string {
 	h := sha256.Sum256([]byte(key))
-	return filepath.Join(c.dir, hex.EncodeToString(h[:])+".json")
+	return filepath.Join(c.dir, kindOf(key)+"-"+hex.EncodeToString(h[:])+".json")
+}
+
+// kindOf extracts the entry kind from a logical key ("oracle/v1|..." →
+// "oracle") or from an entry filename ("oracle-<hash>.json" → "oracle").
+// Anything unrecognized — including entries written by older binaries,
+// which named files by bare hash — is "unknown": unreadable by this
+// binary, counted toward the size bound, evicted like everything else.
+func kindOf(s string) string {
+	if i := strings.IndexAny(s, "/-"); i > 0 {
+		switch k := s[:i]; k {
+		case "oracle", "graph":
+			return k
+		}
+	}
+	return "unknown"
+}
+
+// cacheFile is one entry in a directory scan.
+type cacheFile struct {
+	name    string
+	size    int64
+	modTime int64 // ns since epoch, for oldest-first ordering
+}
+
+// scan lists the cache's entry files (temp files excluded) with sizes
+// and modification times. Failures degrade to an empty listing — the
+// accounting is advisory, never a correctness dependency.
+func (c *Cache) scan() []cacheFile {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil
+	}
+	files := make([]cacheFile, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, cacheFile{name: e.Name(), size: info.Size(), modTime: info.ModTime().UnixNano()})
+	}
+	return files
+}
+
+// Stats reports the cache directory's current footprint: total bytes
+// and entry counts by kind. Computed from a directory listing at call
+// time, so it stays truthful when several worker processes share the
+// directory.
+func (c *Cache) Stats() (sizeBytes int64, byKind map[string]int) {
+	byKind = map[string]int{}
+	for _, f := range c.scan() {
+		sizeBytes += f.size
+		byKind[kindOf(f.name)]++
+	}
+	return sizeBytes, byKind
+}
+
+// SetMaxBytes bounds the cache directory to n bytes (0 = unbounded).
+// Enforced after every put by evicting entries oldest-first.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.evictMu.Lock()
+	c.maxBytes = n
+	c.evictMu.Unlock()
+}
+
+// RegisterMetrics attaches the full cache metric inventory to reg: the
+// hit/miss counters plus scrape-time gauges for directory size and
+// per-kind entry counts.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	c.SetMetrics(
+		reg.Counter("scenariod_cache_hits_total", "verified cache reads"),
+		reg.Counter("scenariod_cache_misses_total", "cache reads that fell through to recompute"),
+	)
+	reg.GaugeFunc("scenariod_cache_size_bytes", "total bytes of cache entry files on disk", func() float64 {
+		size, _ := c.Stats()
+		return float64(size)
+	})
+	for _, kind := range []string{"oracle", "graph"} {
+		kind := kind
+		reg.GaugeFunc(fmt.Sprintf("scenariod_cache_entries{kind=%q}", kind),
+			"cache entry files on disk by kind", func() float64 {
+				_, byKind := c.Stats()
+				return float64(byKind[kind])
+			})
+	}
+}
+
+// enforceBound evicts entries oldest-first until the directory fits
+// under maxBytes. Called after each put; a no-op when unbounded.
+func (c *Cache) enforceBound() {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	if c.maxBytes <= 0 {
+		return
+	}
+	files := c.scan()
+	total := int64(0)
+	for _, f := range files {
+		total += f.size
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].modTime != files[j].modTime {
+			return files[i].modTime < files[j].modTime
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files {
+		if total <= c.maxBytes {
+			break
+		}
+		// A not-exist failure means a concurrent evictor got there
+		// first — the bytes are gone either way.
+		if err := os.Remove(filepath.Join(c.dir, f.name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		total -= f.size
+	}
 }
 
 // get loads and verifies an entry; any damage is a miss (and a
@@ -121,7 +259,9 @@ func (c *Cache) put(key string, v any) {
 	tmp.Close()
 	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		return
 	}
+	c.enforceBound()
 }
 
 // oracleKey addresses an oracle-leg execution. The engine name is

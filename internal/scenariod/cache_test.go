@@ -1,12 +1,19 @@
 package scenariod
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -150,5 +157,97 @@ func TestRunCellCacheEquivalence(t *testing.T) {
 	}
 	if cold != warm || cold != bare {
 		t.Fatalf("cache changed the result:\ncold=%+v\nwarm=%+v\nbare=%+v", cold, warm, bare)
+	}
+}
+
+// TestCacheEvictionOldestFirst pins the -cache-max-bytes discipline:
+// once the directory exceeds the bound, puts evict entries oldest-first
+// until it fits, and the size/entry gauges land on a real /metrics
+// scrape with the post-eviction values.
+func TestCacheEvictionOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	// Three aged graph entries, then a fresh oracle entry.
+	keys := []string{graphKey("gnp", 16, 1), graphKey("gnp", 16, 2), graphKey("gnp", 16, 3)}
+	base := time.Now().Add(-time.Hour)
+	for i, key := range keys {
+		c.put(key, graphPayload{N: 16, Edges: [][2]int{{0, i + 1}}})
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.path(key), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.PutOracle(testCell(t), false, scenario.CachedLeg{Output: "x", Edges: 1})
+	if _, byKind := c.Stats(); byKind["graph"] != 3 || byKind["oracle"] != 1 {
+		t.Fatalf("pre-eviction entries: %v", byKind)
+	}
+	gInfo, err := os.Stat(c.path(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oInfo, err := os.Stat(c.path(oracleKey(testCell(t), false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSize, oSize := gInfo.Size(), oInfo.Size()
+
+	// Bound with room for the oracle plus 1.5 graph entries, then put a
+	// fourth (newest) graph: the three aged graphs must go, oldest
+	// first, while the fresh oracle and the new graph survive.
+	c.SetMaxBytes(oSize + gSize + gSize/2)
+	newest := graphKey("gnp", 16, 4)
+	c.put(newest, graphPayload{N: 16, Edges: [][2]int{{0, 9}}})
+	size, byKind := c.Stats()
+	if byKind["oracle"] != 1 || byKind["graph"] != 1 {
+		t.Fatalf("post-eviction entries = %v, want 1 oracle + 1 graph", byKind)
+	}
+	if _, err := os.Stat(c.path(newest)); err != nil {
+		t.Fatal("newest graph entry evicted before older ones")
+	}
+	for _, key := range keys {
+		if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+			t.Fatalf("aged entry %s survived eviction", key)
+		}
+	}
+
+	// Real scrape: serve the registry over HTTP and read the gauges.
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		fmt.Sprintf("scenariod_cache_size_bytes %d", size),
+		`scenariod_cache_entries{kind="graph"} 1`,
+		`scenariod_cache_entries{kind="oracle"} 1`,
+		"scenariod_cache_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCacheUnboundedNeverEvicts: the default (max 0) keeps everything.
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.put(graphKey("gnp", 16, int64(i)), graphPayload{N: 16})
+	}
+	if _, byKind := c.Stats(); byKind["graph"] != 5 {
+		t.Fatalf("unbounded cache evicted: %v", byKind)
 	}
 }

@@ -97,10 +97,11 @@ func (c *Client) Heartbeat(runID, key, leaseID string) error {
 	return c.post("/v1/heartbeat", HeartbeatRequest{RunID: runID, Key: key, LeaseID: leaseID}, nil)
 }
 
-// Result submits a completed cell.
-func (c *Client) Result(runID, key, leaseID string, cell scenario.CellResult) (bool, error) {
+// Result submits a completed cell (req.Cell plus the lease coordinates
+// and, optionally, the span fields Worker/Attempt/ExecMs).
+func (c *Client) Result(req ResultRequest) (bool, error) {
 	var out ResultResponse
-	err := c.post("/v1/result", ResultRequest{RunID: runID, Key: key, LeaseID: leaseID, Cell: cell}, &out)
+	err := c.post("/v1/result", req, &out)
 	return out.Recorded, err
 }
 

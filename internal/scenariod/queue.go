@@ -53,7 +53,10 @@ const (
 // QueueEvent is one structured lease-lifecycle transition: which cell,
 // which worker held (or was granted) it, and the attempt number. TS and
 // Run are stamped by the server before the event reaches the log — the
-// queue itself is run-agnostic.
+// queue itself is run-agnostic. TMs is the queue-clock instant of the
+// transition (epoch ms, deterministic under a FakeClock) and Outcome
+// the terminal cell outcome on completion/quarantine events — the
+// fields the fleet-trace/v1 span stream (DESIGN.md §15) is built from.
 type QueueEvent struct {
 	TS      string `json:"ts,omitempty"`
 	Event   string `json:"event"`
@@ -61,6 +64,8 @@ type QueueEvent struct {
 	Key     string `json:"key"`
 	Worker  string `json:"worker,omitempty"`
 	Attempt int    `json:"attempt"`
+	TMs     int64  `json:"t_ms,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
 }
 
 // Job is one durable per-cell unit of work.
@@ -116,6 +121,16 @@ func (c QueueConfig) withDefaults() QueueConfig {
 // are safe for concurrent use; completion callbacks fire outside the
 // lock, in completion order.
 type Queue struct {
+	// emitMu serializes whole transitions (lock → mutate → unlock →
+	// deliver callbacks) across goroutines, so onEvent observes
+	// transitions in the order they committed even when, say, a sweep's
+	// requeue and a lease's re-grant of the same cell race: without it,
+	// both could drain their event batches under mu and then deliver
+	// them interleaved. Ordered delivery is what lets the server append
+	// span events to the ledger in a replayable order. Acquired before
+	// mu, never the other way.
+	emitMu sync.Mutex
+
 	mu    sync.Mutex
 	clock Clock
 	cfg   QueueConfig
@@ -156,12 +171,18 @@ func (q *Queue) SetOnDone(fn func(*Job)) { q.onDone = fn }
 // metrics + event log). Must be set before workers start.
 func (q *Queue) SetOnEvent(fn func(QueueEvent)) { q.onEvent = fn }
 
-// eventLocked queues a transition for delivery after the lock drops.
-func (q *Queue) eventLocked(event string, j *Job) {
+// eventLocked queues a transition for delivery after the lock drops,
+// stamped with the transition instant. Terminal transitions (the job
+// just reached JobDone with a result) carry the outcome.
+func (q *Queue) eventLocked(event string, j *Job, now time.Time) {
 	if q.onEvent == nil {
 		return
 	}
-	q.events = append(q.events, QueueEvent{Event: event, Key: j.Key, Worker: j.Worker, Attempt: j.Attempts})
+	ev := QueueEvent{Event: event, Key: j.Key, Worker: j.Worker, Attempt: j.Attempts, TMs: now.UnixMilli()}
+	if j.State == JobDone && j.Result != nil {
+		ev.Outcome = j.Result.Outcome
+	}
+	q.events = append(q.events, ev)
 }
 
 // takeEventsLocked drains the pending transition list.
@@ -199,6 +220,8 @@ func (q *Queue) Preload(key string, res scenario.CellResult) bool {
 // pending, backoff gate passed, after expired leases are swept. The
 // returned Job is a snapshot.
 func (q *Queue) Lease(worker string) (Job, bool) {
+	q.emitMu.Lock()
+	defer q.emitMu.Unlock()
 	var finished []*Job
 	q.mu.Lock()
 	now := q.clock.Now()
@@ -215,7 +238,7 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 		q.seq++
 		j.LeaseID = fmt.Sprintf("%s#%d", worker, q.seq)
 		j.Deadline = now.Add(q.cfg.LeaseTTL)
-		q.eventLocked(EvGranted, j)
+		q.eventLocked(EvGranted, j, now)
 		grant, ok = *j, true
 		break
 	}
@@ -230,6 +253,8 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 // a stale lease ID (the lease expired and the job moved on) gets
 // ErrLeaseLost.
 func (q *Queue) Heartbeat(key, leaseID string) error {
+	q.emitMu.Lock()
+	defer q.emitMu.Unlock()
 	q.mu.Lock()
 	j, ok := q.byKey[key]
 	if !ok {
@@ -238,7 +263,7 @@ func (q *Queue) Heartbeat(key, leaseID string) error {
 	}
 	now := q.clock.Now()
 	if j.State != JobLeased || j.LeaseID != leaseID || j.Deadline.Before(now) {
-		q.eventLocked(EvHeartbeatLost, j)
+		q.eventLocked(EvHeartbeatLost, j, now)
 		evs := q.takeEventsLocked()
 		q.mu.Unlock()
 		q.emit(evs)
@@ -260,6 +285,8 @@ func (q *Queue) Heartbeat(key, leaseID string) error {
 // overloaded workers — and quarantines as infra at the cap. The bool
 // reports whether the job reached its final state by this call.
 func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, error) {
+	q.emitMu.Lock()
+	defer q.emitMu.Unlock()
 	var finished []*Job
 	recorded := false
 	q.mu.Lock()
@@ -273,7 +300,7 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 	case j.State == JobDone:
 		// idempotent duplicate
 	case res.Outcome == scenario.OutcomeInfra && j.Attempts < q.cfg.MaxAttempts:
-		q.eventLocked(EvInfraRequeued, j)
+		q.eventLocked(EvInfraRequeued, j, now)
 		q.requeueLocked(j, now)
 	default:
 		res2 := res
@@ -281,7 +308,7 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 		j.State = JobDone
 		j.LeaseID = leaseID
 		q.done++
-		q.eventLocked(EvCompleted, j)
+		q.eventLocked(EvCompleted, j, now)
 		finished = append(finished, j)
 		recorded = true
 	}
@@ -297,6 +324,8 @@ func (q *Queue) Complete(key, leaseID string, res scenario.CellResult) (bool, er
 // jobs changed state. The server calls it from its ticker and before
 // lease/status reads; tests call it manually against a FakeClock.
 func (q *Queue) Sweep() int {
+	q.emitMu.Lock()
+	defer q.emitMu.Unlock()
 	q.mu.Lock()
 	finished := q.expireLocked(q.clock.Now())
 	evs := q.takeEventsLocked()
@@ -315,15 +344,17 @@ func (q *Queue) expireLocked(now time.Time) []*Job {
 			continue
 		}
 		if j.Attempts >= q.cfg.MaxAttempts {
-			q.eventLocked(EvExpiredQuarantined, j)
 			res := q.quarantineResult(j)
 			j.Result = &res
 			j.State = JobDone
 			q.done++
+			// Result and state first: the quarantine event is terminal,
+			// so it must carry the (infra) outcome.
+			q.eventLocked(EvExpiredQuarantined, j, now)
 			finished = append(finished, j)
 			continue
 		}
-		q.eventLocked(EvExpiredRequeued, j)
+		q.eventLocked(EvExpiredRequeued, j, now)
 		q.requeueLocked(j, now)
 	}
 	return finished
@@ -362,6 +393,19 @@ func (q *Queue) fire(finished []*Job) {
 	for _, j := range finished {
 		q.onDone(j)
 	}
+}
+
+// State reports a job's current state ("" , false for unknown keys) —
+// the server's result handler uses it to skip span records for
+// duplicate submissions on already-final cells.
+func (q *Queue) State(key string) (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byKey[key]
+	if !ok {
+		return "", false
+	}
+	return j.State, true
 }
 
 // Done reports whether every job has completed.

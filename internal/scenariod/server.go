@@ -82,6 +82,14 @@ type run struct {
 	led    *scenario.Ledger // nil when ephemeral
 	cells  int
 
+	// fleet folds the run's span stream (fleet-trace/v1) in memory:
+	// the source of the span-derived latency histograms, the per-run
+	// cells/sec gauge, and worker-utilization accounting. Guarded by
+	// fleetMu (the builder is not concurrency-safe); events arrive in
+	// committed order thanks to the queue's emitMu.
+	fleetMu sync.Mutex
+	fleet   *obs.FleetBuilder
+
 	mu        sync.Mutex
 	log       []StreamEvent // completed cells in completion order, then done
 	subs      map[int]chan StreamEvent
@@ -189,11 +197,28 @@ func (s *Server) loadRun(id, path string) (*run, error) {
 	if info != want {
 		return nil, fmt.Errorf("ledger binding %+v does not match spec %+v", info, want)
 	}
-	led, prior, _, err := scenario.OpenLedger(path, want)
+	led, prior, others, err := scenario.OpenLedger(path, want)
 	if err != nil {
 		return nil, err
 	}
 	r := s.newRun(id, spec, m, led)
+	// Replay the durable span stream into the fresh builder (persist:
+	// false — the records are already in the ledger), then mark the
+	// resume: run_resumed voids any attempt left open by the crash and
+	// re-declares the cell count, closing the crash window between the
+	// spec record and the run_enqueued span.
+	for _, rec := range others {
+		if rec.T != scenario.RecSpan {
+			continue
+		}
+		s.spanEvent(r, obs.SpanEvent{
+			TMs: rec.TMs, Event: rec.Event, Key: rec.Key, Worker: rec.Worker,
+			Attempt: rec.Attempt, Outcome: rec.Outcome, ExecMs: rec.ExecMs, Cells: rec.Cells,
+		}, false)
+	}
+	s.spanEvent(r, obs.SpanEvent{
+		TMs: s.clock.Now().UnixMilli(), Event: obs.FleetRunResumed, Cells: len(cells),
+	}, true)
 	for key, cr := range prior {
 		if r.queue.Preload(key, cr) {
 			crc := cr
@@ -221,10 +246,12 @@ func (s *Server) newRun(id string, spec RunSpec, m *scenario.Matrix, led *scenar
 		}, s.clock),
 		led:   led,
 		cells: len(cells),
+		fleet: obs.NewFleetBuilder(),
 		subs:  map[int]chan StreamEvent{},
 	}
 	r.queue.SetOnDone(func(j *Job) { s.jobDone(r, j) })
 	r.queue.SetOnEvent(func(ev QueueEvent) { s.queueEvent(r, ev) })
+	s.metrics.registerRun(r)
 	return r
 }
 
@@ -232,14 +259,78 @@ func (s *Server) newRun(id string, spec RunSpec, m *scenario.Matrix, led *scenar
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // queueEvent is the lease-lifecycle observer: fold the transition into
-// the metrics, stamp it with the run id and a timestamp, and emit it as
-// one structured NDJSON line.
+// the metrics, append it to the run's fleet-trace/v1 span stream
+// (ledger + in-memory builder), stamp it with the run id and a
+// timestamp, and emit it as one structured NDJSON line.
 func (s *Server) queueEvent(r *run, ev QueueEvent) {
 	s.metrics.observe(ev)
+	if ev.Event != EvHeartbeatLost {
+		// Every queue transition except heartbeat loss (a diagnostic,
+		// not a state change) is a span event; the names coincide by
+		// construction.
+		s.spanEvent(r, obs.SpanEvent{
+			TMs: ev.TMs, Event: ev.Event, Key: ev.Key,
+			Worker: ev.Worker, Attempt: ev.Attempt, Outcome: ev.Outcome,
+		}, true)
+	}
 	if s.events != nil {
 		ev.Run = r.id
 		ev.TS = s.clock.Now().UTC().Format(time.RFC3339Nano)
 		s.events.Emit(ev)
+	}
+}
+
+// spanEventEnds maps a span event to the attempt end state it seals —
+// the guard that keeps a worker's lease time from being folded twice
+// (a cell completed by a stale result has no attempt sealed by the
+// completion event; its last attempt was already folded at requeue).
+var spanEventEnds = map[string]string{
+	obs.FleetExpiredRequeued:    obs.EndExpiredRequeued,
+	obs.FleetInfraRequeued:      obs.EndInfraRequeued,
+	obs.FleetExpiredQuarantined: obs.EndExpiredQuarantined,
+	obs.FleetCompleted:          obs.EndCompleted,
+}
+
+// spanEvent folds one fleet-trace/v1 event into the run's span builder,
+// derives the latency/utilization observations it implies, and — when
+// persist is set — appends it to the run ledger interleaved with the
+// resume records (the replay path passes persist=false: those events
+// are already durable). Builder refusals are logged, never fatal: a
+// broken span stream must not take the queue down, and the reconcile
+// gate will surface it.
+func (s *Server) spanEvent(r *run, ev obs.SpanEvent, persist bool) {
+	r.fleetMu.Lock()
+	err := r.fleet.Observe(ev)
+	var granted, sealed *obs.AttemptSpan
+	var terminal *obs.CellSpan
+	if err == nil && ev.Key != "" {
+		if sp := r.fleet.Span(ev.Key); sp != nil && len(sp.Attempts) > 0 {
+			last := sp.Attempts[len(sp.Attempts)-1]
+			switch {
+			case ev.Event == obs.FleetGranted:
+				granted = &last
+			case last.End != "" && last.End == spanEventEnds[ev.Event]:
+				sealed = &last
+			}
+			if sp.Outcome != "" && spanEventEnds[ev.Event] != "" {
+				snap := *sp
+				snap.Attempts = append([]obs.AttemptSpan(nil), sp.Attempts...)
+				terminal = &snap
+			}
+		}
+	}
+	r.fleetMu.Unlock()
+	if err != nil {
+		s.logf("scenariod: run %s: span %s: %v", r.id, ev.Event, err)
+	}
+	s.metrics.observeSpan(granted, sealed, terminal)
+	if persist && r.led != nil {
+		if lerr := r.led.Append(scenario.LedgerRecord{
+			T: scenario.RecSpan, Key: ev.Key, Worker: ev.Worker, Attempt: ev.Attempt,
+			Event: ev.Event, TMs: ev.TMs, Outcome: ev.Outcome, ExecMs: ev.ExecMs, Cells: ev.Cells,
+		}); lerr != nil {
+			s.logf("scenariod: run %s: %v", r.id, lerr)
+		}
 	}
 }
 
@@ -459,6 +550,9 @@ func (s *Server) Submit(spec RunSpec) (*SubmitResponse, error) {
 		}
 	}
 	r := s.newRun(id, spec, m, led)
+	s.spanEvent(r, obs.SpanEvent{
+		TMs: s.clock.Now().UnixMilli(), Event: obs.FleetRunEnqueued, Cells: len(cells),
+	}, true)
 	s.runs[id] = r
 	s.order = append(s.order, id)
 	return &SubmitResponse{RunID: id, Cells: len(cells)}, nil
@@ -477,17 +571,12 @@ func (s *Server) Lease(worker string) LeaseResponse {
 	}
 	s.mu.Unlock()
 	for _, r := range runs {
+		// The grant's span record (lease_granted: worker, attempt,
+		// instant) is appended by the queue-event observer, replacing
+		// the old RecLease bookkeeping line.
 		j, ok := r.queue.Lease(worker)
 		if !ok {
 			continue
-		}
-		if r.led != nil {
-			if err := r.led.Append(scenario.LedgerRecord{
-				T: scenario.RecLease, Key: j.Key, Worker: worker,
-				Attempt: j.Attempts, DeadlineMs: j.Deadline.UnixMilli(),
-			}); err != nil {
-				s.logf("scenariod: run %s: %v", r.id, err)
-			}
 		}
 		return LeaseResponse{Status: LeaseJob, Job: &JobGrant{
 			RunID:       r.id,
@@ -598,6 +687,16 @@ func (s *Server) Handler() http.Handler {
 		if run == nil {
 			writeErr(w, &apiError{http.StatusNotFound, "unknown run " + req.RunID})
 			return
+		}
+		// Span the submission before Complete so the stream reads
+		// granted → result_submitted → cell_completed. Submissions for
+		// already-final cells (idempotent duplicates) carry no new
+		// information and are not spanned.
+		if st, known := run.queue.State(req.Key); known && st != JobDone {
+			s.spanEvent(run, obs.SpanEvent{
+				TMs: s.clock.Now().UnixMilli(), Event: obs.FleetResultSubmitted,
+				Key: req.Key, Worker: req.Worker, Attempt: req.Attempt, ExecMs: req.ExecMs,
+			}, true)
 		}
 		recorded, err := run.queue.Complete(req.Key, req.LeaseID, req.Cell)
 		if err != nil {

@@ -168,7 +168,7 @@ func TestServerShedsOverCellBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := client.Result(g.RunID, g.Key, g.LeaseID, okResult(cell)); err != nil {
+		if _, err := client.Result(ResultRequest{RunID: g.RunID, Key: g.Key, LeaseID: g.LeaseID, Cell: okResult(cell)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -201,7 +201,7 @@ func TestServerLedgerRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := scenario.RunCell(cell, scenario.CellOptions{})
-	if _, err := client1.Result(g.RunID, g.Key, g.LeaseID, res); err != nil {
+	if _, err := client1.Result(ResultRequest{RunID: g.RunID, Key: g.Key, LeaseID: g.LeaseID, Worker: "w-before-crash", Attempt: g.Attempt, Cell: res}); err != nil {
 		t.Fatal(err)
 	}
 	// "Crash": flush ledgers and abandon the server.

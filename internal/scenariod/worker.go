@@ -102,8 +102,15 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) {
 // does not know) is reported back as an infra result rather than left
 // to expire — the server quarantines it after MaxAttempts grants.
 func (w *Worker) runJob(ctx context.Context, g JobGrant) {
+	start := time.Now()
 	res := w.execute(ctx, g)
-	if _, err := w.Client.Result(g.RunID, g.Key, g.LeaseID, res); err != nil {
+	// Floor at 1ms: the span model reads ExecMs > 0 as "this attempt
+	// ran", and a sub-millisecond cell did run.
+	execMs := max(time.Since(start).Milliseconds(), 1)
+	if _, err := w.Client.Result(ResultRequest{
+		RunID: g.RunID, Key: g.Key, LeaseID: g.LeaseID,
+		Worker: w.Name, Attempt: g.Attempt, ExecMs: execMs, Cell: res,
+	}); err != nil {
 		w.logf("worker %s: result %s: %v", w.Name, g.Key, err)
 		return
 	}

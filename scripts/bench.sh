@@ -10,8 +10,10 @@
 # records land in SCENARIOS_<date>.json; schema in DESIGN.md §8), the
 # multicore scaling curve ("engine_scaling": 1/2/4/8-worker ns and
 # speedups for the engine and scenario-shard paths; see DESIGN.md §13)
-# and the tracing tax ("trace_overhead": none/recorder/ndjson legs of
-# BenchmarkTraceOverhead with overhead ratios; see DESIGN.md §14).
+# the tracing tax ("trace_overhead": none/recorder/ndjson legs of
+# BenchmarkTraceOverhead with overhead ratios; see DESIGN.md §14) and
+# the service throughput sweep ("fleet_throughput": 1/2/4/8-worker
+# end-to-end cells/sec through scenariod; see DESIGN.md §15).
 # Compare files across PRs to see the trend (ns/op and allocs/op per
 # benchmark, cells and divergences per matrix, the MM cost crossover).
 #
@@ -36,7 +38,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench "$filter" -benchtime "$benchtime" -benchmem \
-  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ ./internal/scenario/ ./internal/obs/ . 2>&1 | tee "$tmp"
+  ./internal/core/ ./internal/bits/ ./internal/f2/ ./internal/semiring/ ./internal/sketch/ ./internal/scenario/ ./internal/obs/ ./internal/routing/ ./internal/scenariod/ . 2>&1 | tee "$tmp"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
@@ -142,8 +144,43 @@ fold_trace() {
   echo "folded trace overhead legs into $out"
 }
 
+# Fold the service throughput sweep ("fleet_throughput"): the 1/2/4/8
+# resident-worker legs of BenchmarkFleetThroughput (submit -> lease ->
+# execute -> stream over an 8-cell quick slice), with end-to-end cells
+# per second and speedups relative to one worker. Parsed from the main
+# bench output above. As with engine_scaling, real scaling needs
+# GOMAXPROCS >= the worker count; the gomaxprocs field says which.
+fold_fleet() {
+  local fleet
+  fleet="$(awk '
+    /^BenchmarkFleetThroughput\// {
+      split($1, a, "/")
+      w = a[2]; sub(/^w=/, "", w); sub(/-.*$/, "", w)
+      ns[w] = $3; ws[w] = 1
+      for (i = 3; i <= NF; i++)
+        if ($(i+1) == "cells/s") cps[w] = $i
+    }
+    END {
+      out = ""
+      for (w in ws) {
+        out = out sprintf("\"w%s_ns\": %s, ", w, ns[w])
+        if (w in cps) out = out sprintf("\"w%s_cells_per_sec\": %s, ", w, cps[w])
+      }
+      if ("1" in cps)
+        for (w in ws)
+          if (w != 1 && (w in cps))
+            out = out sprintf("\"speedup_w%s\": %.2f, ", w, cps[w] / cps["1"])
+      sub(/, $/, "", out)
+      print out
+    }' "$tmp")"
+  [[ -z "$fleet" ]] && return 0
+  append_record "{\"date\": \"${date}\", \"name\": \"fleet_throughput\", \"cells\": 8, \"gomaxprocs\": $(nproc 2>/dev/null || echo 1), ${fleet}}"
+  echo "folded fleet throughput sweep into $out"
+}
+
 fold_scaling
 fold_trace
+fold_fleet
 
 # Run the full E15 semiring MM ablation (the quick sweep stops at n=16;
 # the acceptance point is n=64) and fold its n=64 record line into the
